@@ -1,0 +1,56 @@
+//! The A2A (analog-to-asynchronous) interface library — §III of the
+//! paper.
+//!
+//! Analog comparator outputs are *non-persistent*: they can glitch,
+//! chatter near a threshold, or retract just as the digital side samples
+//! them. A2A elements sit between those signals and the
+//! speed-independent controller, containing the resulting metastability
+//! and exporting clean handshakes:
+//!
+//! | element | behaviour |
+//! |---------|-----------|
+//! | [`Wait`] | wait for the input to be high, latch it, release via handshake |
+//! | [`Wait0`] | dual: wait for low |
+//! | [`Wait2`] | wait for high then low, one per handshake phase |
+//! | [`RWait`] / [`RWait0`] | [`Wait`]/[`Wait0`] with a persistent cancel |
+//! | [`Wait01`] / [`Wait10`] | wait for a rising / falling *edge* |
+//! | [`WaitX`] | arbitrate which of two inputs goes high first (dual-rail grant) |
+//! | [`WaitX2`] | [`WaitX`] that holds its grant until the winner goes low |
+//!
+//! All elements are deterministic discrete-time models with a
+//! configurable decision delay and an optional seeded stochastic
+//! metastability tail ([`MetaParams`]) — short input pulses are filtered
+//! (and counted), exactly the hazard the elements exist to contain.
+//!
+//! The matching STG specifications live in [`spec`] and are verified
+//! consistent, deadlock-free and output-persistent by this crate's
+//! tests; [`HandshakeMonitor`] checks 4-phase protocol compliance of
+//! event traces at run time.
+//!
+//! # Examples
+//!
+//! ```
+//! use a4a_a2a::Wait;
+//! use a4a_sim::Time;
+//!
+//! let mut w = Wait::new(Time::from_ps(80.0));
+//! w.set_req(Time::ZERO, true);               // controller arms the wait
+//! w.set_sig(Time::from_ns(5.0), true);       // comparator fires
+//! let ev = w.poll(Time::from_ns(6.0)).expect("latched");
+//! assert!(ev.value);                          // ack is now high
+//! assert!(w.ack());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod meta;
+mod monitor;
+pub mod spec;
+mod wait;
+mod waitx;
+
+pub use meta::{MetaParams, MetaState};
+pub use monitor::{HandshakeMonitor, ProtocolError};
+pub use wait::{AckEvent, RWait, RWait0, Wait, Wait0, Wait01, Wait10, Wait2};
+pub use waitx::{GrantEvent, WaitX, WaitX2};

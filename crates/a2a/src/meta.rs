@@ -1,0 +1,139 @@
+use a4a_sim::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stochastic metastability model for A2A elements and synchronisers.
+///
+/// When a latch decision races with its input, resolution time follows an
+/// exponential tail. `probability` is the chance that a given marginal
+/// decision goes metastable at all; `tau` is the tail's time constant.
+/// The default disables the model (fully deterministic elements); the
+/// ablation benches enable it with a fixed seed, so runs stay
+/// reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_a2a::MetaParams;
+/// use a4a_sim::Time;
+///
+/// let mut m = MetaParams::with_seed(0.5, Time::from_ps(50.0), 42).into_state();
+/// let extra = m.resolution_delay();
+/// // Either resolved instantly or took an exponential tail.
+/// assert!(extra == Time::ZERO || extra > Time::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaParams {
+    /// Probability that a marginal decision goes metastable.
+    pub probability: f64,
+    /// Exponential tail time constant.
+    pub tau: Time,
+    /// RNG seed (model is deterministic per seed).
+    pub seed: u64,
+}
+
+impl MetaParams {
+    /// A disabled model: decisions always resolve in zero extra time.
+    pub fn disabled() -> MetaParams {
+        MetaParams {
+            probability: 0.0,
+            tau: Time::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// An enabled model with the given parameters.
+    pub fn with_seed(probability: f64, tau: Time, seed: u64) -> MetaParams {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        MetaParams {
+            probability,
+            tau,
+            seed,
+        }
+    }
+
+    /// Instantiates the runtime state (owning the seeded RNG).
+    pub fn into_state(self) -> MetaState {
+        MetaState {
+            rng: StdRng::seed_from_u64(self.seed),
+            params: self,
+        }
+    }
+}
+
+impl Default for MetaParams {
+    fn default() -> Self {
+        MetaParams::disabled()
+    }
+}
+
+/// Runtime state of the metastability model.
+#[derive(Debug, Clone)]
+pub struct MetaState {
+    params: MetaParams,
+    rng: StdRng,
+}
+
+impl MetaState {
+    /// Extra resolution delay for one marginal decision: zero when the
+    /// decision resolves cleanly, an exponential sample otherwise.
+    pub fn resolution_delay(&mut self) -> Time {
+        if self.params.probability <= 0.0 {
+            return Time::ZERO;
+        }
+        if self.rng.gen::<f64>() >= self.params.probability {
+            return Time::ZERO;
+        }
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        let factor = -u.ln();
+        Time::from_secs(self.params.tau.as_secs() * factor)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &MetaParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_is_zero() {
+        let mut m = MetaParams::disabled().into_state();
+        for _ in 0..100 {
+            assert_eq!(m.resolution_delay(), Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn enabled_model_produces_tails() {
+        let mut m = MetaParams::with_seed(1.0, Time::from_ps(100.0), 7).into_state();
+        let delays: Vec<Time> = (0..100).map(|_| m.resolution_delay()).collect();
+        assert!(delays.iter().any(|&d| d > Time::ZERO));
+        // Mean of an exponential with tau=100ps is ~100ps.
+        let mean_ps: f64 =
+            delays.iter().map(|d| d.as_ns() * 1e3).sum::<f64>() / delays.len() as f64;
+        assert!(mean_ps > 30.0 && mean_ps < 300.0, "mean {mean_ps}ps");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Time> {
+            let mut m = MetaParams::with_seed(0.5, Time::from_ps(50.0), seed).into_state();
+            (0..50).map(|_| m.resolution_delay()).collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        let _ = MetaParams::with_seed(1.5, Time::ZERO, 0);
+    }
+}

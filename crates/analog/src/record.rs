@@ -1,0 +1,177 @@
+use std::fmt::Write as _;
+
+/// A recorded mixed-signal run: analog samples plus named digital event
+/// tracks — the data behind Figure 6's waveform plots.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_analog::Waveform;
+///
+/// let mut w = Waveform::new(2);
+/// w.sample(0.0, 0.0, &[0.0, 0.0]);
+/// w.sample(1e-9, 0.1, &[0.01, 0.0]);
+/// w.event(0.5e-9, "uv", true);
+/// assert_eq!(w.len(), 2);
+/// assert!(w.csv().starts_with("t,v"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Waveform {
+    phases: usize,
+    /// Sample times (s).
+    pub t: Vec<f64>,
+    /// Output voltage per sample (V).
+    pub v: Vec<f64>,
+    /// Coil current per phase per sample (A): `i[phase][sample]`.
+    pub i: Vec<Vec<f64>>,
+    /// Digital events: (time, track name, new value).
+    pub events: Vec<(f64, String, bool)>,
+}
+
+impl Waveform {
+    /// An empty record for `phases` phases.
+    pub fn new(phases: usize) -> Waveform {
+        Waveform {
+            phases,
+            t: Vec::new(),
+            v: Vec::new(),
+            i: vec![Vec::new(); phases],
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of analog samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Returns `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// Appends an analog sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents` length differs from the phase count.
+    pub fn sample(&mut self, t: f64, v: f64, currents: &[f64]) {
+        assert_eq!(currents.len(), self.phases, "phase count mismatch");
+        self.t.push(t);
+        self.v.push(v);
+        for (k, &c) in currents.iter().enumerate() {
+            self.i[k].push(c);
+        }
+    }
+
+    /// Appends a digital event on a named track.
+    pub fn event(&mut self, t: f64, track: impl Into<String>, value: bool) {
+        self.events.push((t, track.into(), value));
+    }
+
+    /// Restricts all analog samples to a time window (events kept).
+    pub fn window(&self, t_start: f64, t_end: f64) -> Waveform {
+        let mut out = Waveform::new(self.phases);
+        for (idx, &t) in self.t.iter().enumerate() {
+            if t >= t_start && t <= t_end {
+                out.t.push(t);
+                out.v.push(self.v[idx]);
+                for k in 0..self.phases {
+                    out.i[k].push(self.i[k][idx]);
+                }
+            }
+        }
+        out.events = self
+            .events
+            .iter()
+            .filter(|(t, _, _)| *t >= t_start && *t <= t_end)
+            .cloned()
+            .collect();
+        out
+    }
+
+    /// Renders the analog samples as CSV (`t,v,i0,i1,...`).
+    pub fn csv(&self) -> String {
+        let mut out = String::from("t,v");
+        for k in 0..self.phases {
+            let _ = write!(out, ",i{k}");
+        }
+        out.push('\n');
+        for idx in 0..self.len() {
+            let _ = write!(out, "{:.9e},{:.6}", self.t[idx], self.v[idx]);
+            for k in 0..self.phases {
+                let _ = write!(out, ",{:.6}", self.i[k][idx]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the digital events as CSV (`t,track,value`).
+    pub fn events_csv(&self) -> String {
+        let mut out = String::from("t,track,value\n");
+        let mut sorted = self.events.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (t, track, value) in sorted {
+            let _ = writeln!(out, "{t:.9e},{track},{}", u8::from(value));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave() -> Waveform {
+        let mut w = Waveform::new(2);
+        for k in 0..10 {
+            let t = k as f64 * 1e-9;
+            w.sample(t, k as f64 * 0.1, &[k as f64 * 0.01, 0.0]);
+        }
+        w.event(3e-9, "uv", true);
+        w.event(7e-9, "uv", false);
+        w
+    }
+
+    #[test]
+    fn sample_and_len() {
+        let w = wave();
+        assert_eq!(w.len(), 10);
+        assert!(!w.is_empty());
+        assert_eq!(w.phases(), 2);
+        assert_eq!(w.i[0].len(), 10);
+    }
+
+    #[test]
+    fn window_filters_samples_and_events() {
+        let w = wave().window(1.5e-9, 6.5e-9);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.events.len(), 1);
+        assert_eq!(w.events[0].1, "uv");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let w = wave();
+        let csv = w.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,v,i0,i1");
+        assert_eq!(lines.len(), 11);
+        let ev = w.events_csv();
+        assert!(ev.contains("uv,1"));
+        assert!(ev.contains("uv,0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase count mismatch")]
+    fn wrong_phase_count_panics() {
+        let mut w = Waveform::new(2);
+        w.sample(0.0, 0.0, &[0.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests: the buck model stays physical under arbitrary
+//! switch schedules, and the comparators never miss or invent crossings.
+
+use a4a_analog::{Buck, BuckParams, CoilModel, Comparator, SwitchState};
+use proptest::prelude::*;
+
+/// A random per-phase switch schedule: (step index, phase, state).
+fn arb_schedule(
+    phases: usize,
+    len: usize,
+) -> impl Strategy<Value = Vec<(usize, usize, SwitchState)>> {
+    proptest::collection::vec(
+        (
+            0usize..2000,
+            0..phases,
+            prop_oneof![
+                Just(SwitchState::PmosOn),
+                Just(SwitchState::NmosOn),
+                Just(SwitchState::Off),
+            ],
+        ),
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any legal switching schedule the state stays bounded and
+    /// finite: |i| below a physical ceiling, v within diode-clamped
+    /// rails, and no NaNs.
+    #[test]
+    fn buck_stays_physical(schedule in arb_schedule(2, 40)) {
+        let params = BuckParams::default().with_phases(2);
+        let vin = params.vin;
+        let mut buck = Buck::new(params);
+        let mut schedule = schedule;
+        schedule.sort_by_key(|s| s.0);
+        let mut next = 0usize;
+        for step in 0..2000usize {
+            while next < schedule.len() && schedule[next].0 <= step {
+                let (_, phase, state) = schedule[next];
+                let (gp, gn) = match state {
+                    SwitchState::PmosOn => (true, false),
+                    SwitchState::NmosOn => (false, true),
+                    SwitchState::Off => (false, false),
+                };
+                buck.set_switch(phase, gp, gn);
+                next += 1;
+            }
+            buck.step(1e-9);
+            for k in 0..2 {
+                let i = buck.coil_current(k);
+                prop_assert!(i.is_finite());
+                prop_assert!(i.abs() < 20.0, "runaway current {i}");
+            }
+            let v = buck.output_voltage();
+            prop_assert!(v.is_finite());
+            prop_assert!(v > -2.0 && v < vin + 2.0, "rail escape {v}");
+        }
+    }
+
+    /// With both switches off the coil current never crosses zero
+    /// (discontinuous conduction clamp), from any pre-charge.
+    #[test]
+    fn dcm_never_reverses(precharge_steps in 10usize..2000) {
+        let mut buck = Buck::new(BuckParams::default().with_phases(1));
+        buck.set_switch(0, true, false);
+        for _ in 0..precharge_steps {
+            buck.step(1e-9);
+        }
+        buck.set_switch(0, false, false);
+        let sign = buck.coil_current(0).signum();
+        for _ in 0..30_000 {
+            buck.step(1e-9);
+            let i = buck.coil_current(0);
+            prop_assert!(i == 0.0 || i.signum() == sign, "current reversed in DCM");
+        }
+    }
+
+    /// RK2 is step-size robust: halving dt changes the trajectory only
+    /// slightly for a smooth (fixed-switch) segment.
+    #[test]
+    fn integration_step_robust(l_uh in 1.0f64..10.0, steps in 100usize..1000) {
+        let run = |dt: f64, n: usize| -> (f64, f64) {
+            let mut b = Buck::new(
+                BuckParams::default()
+                    .with_phases(1)
+                    .with_coil(CoilModel::coilcraft(l_uh)),
+            );
+            b.set_switch(0, true, false);
+            for _ in 0..n {
+                b.step(dt);
+            }
+            (b.output_voltage(), b.coil_current(0))
+        };
+        let (v1, i1) = run(1e-9, steps);
+        let (v2, i2) = run(0.5e-9, steps * 2);
+        prop_assert!((v1 - v2).abs() < 0.02, "{v1} vs {v2}");
+        prop_assert!((i1 - i2).abs() < 0.02, "{i1} vs {i2}");
+    }
+
+    /// A comparator fed a piecewise-linear trace produces alternating
+    /// edges whose times are strictly increasing and sit within the
+    /// segment that crossed (plus delay).
+    #[test]
+    fn comparator_edges_alternate(values in proptest::collection::vec(-1.0f64..1.0, 2..60)) {
+        let mut c = Comparator::above(0.0, 0.1, 1e-9);
+        let mut last_state = false;
+        let mut last_time = f64::NEG_INFINITY;
+        let mut prev = (0.0f64, values[0]);
+        for (k, &x) in values.iter().enumerate().skip(1) {
+            let t = k as f64 * 1e-6;
+            if let Some((te, s)) = c.update(prev.0, prev.1, t, x) {
+                prop_assert_ne!(s, last_state, "edges must alternate");
+                prop_assert!(te > last_time, "event times increase");
+                prop_assert!(te >= prev.0 && te <= t + 1e-9 + 1e-12, "event within segment+delay");
+                last_state = s;
+                last_time = te;
+            }
+            prop_assert_eq!(c.output(), last_state);
+            prev = (t, x);
+        }
+    }
+
+    /// Coil family interpolation is monotone in inductance.
+    #[test]
+    fn coil_family_monotone(a in 1.0f64..10.0, b in 1.0f64..10.0) {
+        prop_assume!(a < b);
+        let ca = CoilModel::coilcraft(a);
+        let cb = CoilModel::coilcraft(b);
+        prop_assert!(ca.inductance < cb.inductance);
+        prop_assert!(ca.dcr <= cb.dcr);
+        prop_assert!(ca.esr_hf <= cb.esr_hf);
+    }
+}

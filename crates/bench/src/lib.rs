@@ -1,0 +1,19 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§V).
+//!
+//! * [`experiments`] — the data producers: Table I reaction times,
+//!   Figure 6 waveforms/metrics, the Figure 7a/7b/7c sweeps, and the
+//!   ablation studies listed in DESIGN.md;
+//! * [`report`] — plain-text table rendering and CSV emission into
+//!   `results/`.
+//!
+//! Each `cargo run -p a4a-bench --bin <name>` regenerates one artefact;
+//! `cargo bench` runs the engine performance benchmarks (state-graph
+//! construction, minimisation, synthesis, SI verification, co-simulation
+//! throughput).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

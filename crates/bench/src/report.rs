@@ -1,0 +1,127 @@
+//! Plain-text table rendering and CSV emission.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::experiments::SweepPoint;
+
+/// Renders a fixed-width table: header row plus data rows.
+pub fn table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < cols {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    emit(&mut out, header);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+/// Renders a sweep as a table with one series column per label.
+pub fn sweep_table(x_name: &str, labels: &[String], points: &[SweepPoint]) -> String {
+    let mut header = vec![x_name.to_string()];
+    header.extend(labels.iter().cloned());
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![format!("{:.2}", p.x)];
+            row.extend(p.y.iter().map(|v| format!("{v:.1}")));
+            row
+        })
+        .collect();
+    table(&header, &rows)
+}
+
+/// Renders a sweep as CSV.
+pub fn sweep_csv(x_name: &str, labels: &[String], points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(x_name);
+    for l in labels {
+        out.push(',');
+        out.push_str(l);
+    }
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!("{:.4}", p.x));
+        for v in &p.y {
+            out.push_str(&format!(",{v:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The output directory for regenerated artefacts (`results/` at the
+/// workspace root, creating it if needed).
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation.
+pub fn results_dir() -> io::Result<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results");
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes an artefact into `results/`, returning its path.
+///
+/// # Errors
+///
+/// Returns any I/O error from the write.
+pub fn write_artifact(name: &str, contents: &str) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(name);
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let header = vec!["a".to_string(), "long".to_string()];
+        let rows = vec![
+            vec!["1".to_string(), "2".to_string()],
+            vec!["100".to_string(), "x".to_string()],
+        ];
+        let t = table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("a"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].ends_with("   2"));
+    }
+
+    #[test]
+    fn sweep_csv_format() {
+        let points = vec![SweepPoint {
+            x: 1.0,
+            y: vec![2.0, 3.0],
+        }];
+        let csv = sweep_csv("l", &["a".to_string(), "b".to_string()], &points);
+        assert_eq!(csv.lines().next(), Some("l,a,b"));
+        assert!(csv.contains("1.0000,2.0000,3.0000"));
+    }
+}

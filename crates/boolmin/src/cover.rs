@@ -1,0 +1,235 @@
+use std::fmt;
+
+use crate::Cube;
+
+/// A sum-of-products cover: the OR of a set of [`Cube`]s.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_boolmin::{Cover, Cube};
+///
+/// let mut cover = Cover::new(2);
+/// cover.push(Cube::full(2).with_positive(0)); // a
+/// cover.push(Cube::full(2).with_positive(1)); // b
+/// assert!(cover.eval(0b01) && cover.eval(0b10) && cover.eval(0b11));
+/// assert!(!cover.eval(0b00));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    nvars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0) over `nvars` variables.
+    pub fn new(nvars: usize) -> Cover {
+        Cover {
+            nvars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// A cover holding exactly the given minterms.
+    pub fn from_minterms(nvars: usize, minterms: &[u64]) -> Cover {
+        Cover {
+            nvars,
+            cubes: minterms.iter().map(|&m| Cube::minterm(nvars, m)).collect(),
+        }
+    }
+
+    /// Number of variables in the cover's space.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of cubes.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Returns `true` when the cover has no cubes (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Adds a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube's variable count disagrees with the cover's.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.nvars(), self.nvars, "cube/cover variable mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the cover on an assignment.
+    pub fn eval(&self, assignment: u64) -> bool {
+        self.cubes.iter().any(|c| c.covers_minterm(assignment))
+    }
+
+    /// Total number of literals over all cubes (the classic two-level
+    /// cost function).
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Removes cubes that are single-cube-contained in another cube of
+    /// the cover.
+    pub fn absorb(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..self.cubes.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if self.cubes[i].contains(&self.cubes[j]) {
+                    keep[j] = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Checks that the cover is 1 on every minterm of `on` and 0 on every
+    /// minterm of `off`; returns the first counterexample as
+    /// `(minterm, expected)` if any.
+    pub fn check(&self, on: &[u64], off: &[u64]) -> Option<(u64, bool)> {
+        for &m in on {
+            if !self.eval(m) {
+                return Some((m, true));
+            }
+        }
+        for &m in off {
+            if self.eval(m) {
+                return Some((m, false));
+            }
+        }
+        None
+    }
+
+    /// Renders with variable names, e.g. `a b' + c`.
+    pub fn format_with(&self, names: &[String]) -> String {
+        if self.cubes.is_empty() {
+            return "0".to_string();
+        }
+        self.cubes
+            .iter()
+            .map(|c| c.format_with(names))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        let parts: Vec<String> = self.cubes.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    /// Collects cubes into a cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty (the variable count would be
+    /// unknown) or the cubes disagree on variable count.
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Cover {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let nvars = cubes
+            .first()
+            .expect("cannot collect an empty iterator into a Cover")
+            .nvars();
+        let mut cover = Cover::new(nvars);
+        for c in cubes {
+            cover.push(c);
+        }
+        cover
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_counts() {
+        let mut cover = Cover::new(3);
+        cover.push(Cube::full(3).with_positive(0).with_negative(1));
+        cover.push(Cube::full(3).with_positive(2));
+        assert_eq!(cover.cube_count(), 2);
+        assert_eq!(cover.literal_count(), 3);
+        assert!(cover.eval(0b001)); // a=1 b=0
+        assert!(cover.eval(0b100)); // c=1
+        assert!(!cover.eval(0b010));
+    }
+
+    #[test]
+    fn from_minterms_matches_exactly() {
+        let cover = Cover::from_minterms(3, &[1, 4, 6]);
+        for m in 0..8u64 {
+            assert_eq!(cover.eval(m), [1u64, 4, 6].contains(&m));
+        }
+    }
+
+    #[test]
+    fn absorb_removes_contained() {
+        let mut cover = Cover::new(2);
+        cover.push(Cube::full(2).with_positive(0));
+        cover.push(Cube::full(2).with_positive(0).with_positive(1));
+        cover.push(Cube::full(2).with_negative(0));
+        cover.absorb();
+        assert_eq!(cover.cube_count(), 2);
+    }
+
+    #[test]
+    fn check_finds_counterexamples() {
+        let cover = Cover::from_minterms(2, &[0b01]);
+        assert_eq!(cover.check(&[0b01], &[0b00]), None);
+        assert_eq!(cover.check(&[0b10], &[]), Some((0b10, true)));
+        assert_eq!(cover.check(&[], &[0b01]), Some((0b01, false)));
+    }
+
+    #[test]
+    fn display_and_format() {
+        let names: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let mut cover = Cover::new(2);
+        assert_eq!(cover.format_with(&names), "0");
+        cover.push(Cube::full(2).with_positive(0));
+        cover.push(Cube::full(2).with_negative(1));
+        assert_eq!(cover.format_with(&names), "a + b'");
+        assert_eq!(cover.to_string(), "-1 + 0-");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let cover: Cover = [Cube::full(2), Cube::minterm(2, 1)].into_iter().collect();
+        assert_eq!(cover.cube_count(), 2);
+        assert_eq!(cover.nvars(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable mismatch")]
+    fn mismatched_cube_panics() {
+        let mut cover = Cover::new(2);
+        cover.push(Cube::full(3));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests: Quine–McCluskey output is always semantically
+//! exact, cube algebra obeys its laws.
+
+use a4a_boolmin::{minimize, Cube, Expr, Minimize};
+use proptest::prelude::*;
+
+/// Random partition of the 2^n minterm space into ON / OFF / DC.
+fn partition(nvars: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for m in 0..(1u64 << nvars) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        match (state >> 33) % 3 {
+            0 => on.push(m),
+            1 => off.push(m),
+            _ => {} // don't care
+        }
+    }
+    (on, off)
+}
+
+proptest! {
+    /// The minimised cover is 1 on every ON minterm and 0 on every OFF
+    /// minterm, for arbitrary incompletely-specified functions.
+    #[test]
+    fn qm_is_exact(nvars in 1usize..7, seed in any::<u64>()) {
+        let (on, off) = partition(nvars, seed);
+        let cover = minimize(&Minimize::new(nvars).on(&on).off(&off)).unwrap();
+        prop_assert_eq!(cover.check(&on, &off), None);
+        // And the expression form agrees everywhere.
+        let expr = Expr::from_cover(&cover);
+        for m in 0..(1u64 << nvars) {
+            prop_assert_eq!(expr.eval(m), cover.eval(m));
+        }
+    }
+
+    /// Every cube of the result is an implicant of ON ∪ DC (never covers
+    /// an OFF minterm).
+    #[test]
+    fn qm_cubes_avoid_off(nvars in 1usize..7, seed in any::<u64>()) {
+        let (on, off) = partition(nvars, seed);
+        let cover = minimize(&Minimize::new(nvars).on(&on).off(&off)).unwrap();
+        for cube in cover.cubes() {
+            for &m in &off {
+                prop_assert!(!cube.covers_minterm(m));
+            }
+        }
+    }
+
+    /// Merging two cubes yields a cube covering exactly their union.
+    #[test]
+    fn merge_covers_union(nvars in 1usize..6, a in any::<u64>(), b in any::<u64>()) {
+        let mask = (1u64 << nvars) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let ca = Cube::minterm(nvars, a);
+        let cb = Cube::minterm(nvars, b);
+        if let Some(merged) = ca.merge(&cb) {
+            for m in 0..=mask {
+                let expected = m == a || m == b;
+                prop_assert_eq!(merged.covers_minterm(m), expected, "m={:#b}", m);
+            }
+        } else {
+            // No merge: the minterms differ in != 1 bit.
+            prop_assert!((a ^ b).count_ones() != 1);
+        }
+    }
+
+    /// Containment is consistent with minterm semantics.
+    #[test]
+    fn containment_semantics(nvars in 1usize..5, a in any::<u64>(), drop in 0usize..5) {
+        let mask = (1u64 << nvars) - 1;
+        let small = Cube::minterm(nvars, a & mask);
+        let big = small.with_free(drop % nvars);
+        prop_assert!(big.contains(&small));
+        for m in 0..=mask {
+            if small.covers_minterm(m) {
+                prop_assert!(big.covers_minterm(m));
+            }
+        }
+    }
+
+    /// from_cover/literal_count agree between Expr and Cover.
+    #[test]
+    fn expr_matches_cover(nvars in 1usize..6, seed in any::<u64>()) {
+        let (on, off) = partition(nvars, seed);
+        let cover = minimize(&Minimize::new(nvars).on(&on).off(&off)).unwrap();
+        let expr = Expr::from_cover(&cover);
+        prop_assert_eq!(expr.literal_count(), cover.literal_count());
+    }
+}

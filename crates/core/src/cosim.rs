@@ -1,0 +1,541 @@
+//! Mixed-signal co-simulation: the Cadence-AMS testbench stand-in.
+//!
+//! The analog buck integrates with a fixed maximum step, subdivided at
+//! every digital event boundary (gate-driver application, controller
+//! wakeup, scheduled load step), so switch toggles land at their exact
+//! times. Comparator crossings inside a step are located by linear
+//! interpolation and delivered to the controller in time order,
+//! interleaved with the controller's own timer/clock wakeups.
+
+use a4a_analog::{Buck, BuckParams, SensorBank, SensorEvent, SensorThresholds, Waveform};
+use a4a_ctrl::{BuckController, Command, GateTiming, TimedCommand};
+use a4a_sim::Time;
+
+/// Pending digital side effects travelling through the gate drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PendKind {
+    /// Driver output reaches the power transistor: the switch toggles.
+    Apply { phase: usize, pmos: bool, value: bool },
+    /// Threshold-crossing acknowledge back to the controller.
+    Ack { phase: usize, pmos: bool, value: bool },
+    /// Sensor reference switch takes effect.
+    OvMode(bool),
+    /// Scheduled load step.
+    LoadStep(f64),
+}
+
+/// Builder for [`Testbench`].
+#[derive(Debug)]
+pub struct TestbenchBuilder {
+    params: BuckParams,
+    thresholds: SensorThresholds,
+    gate_timing: GateTiming,
+    dt: f64,
+    record_every: usize,
+    load_steps: Vec<(f64, f64)>,
+}
+
+impl TestbenchBuilder {
+    /// Starts from default buck parameters and thresholds.
+    pub fn new() -> Self {
+        TestbenchBuilder {
+            params: BuckParams::default(),
+            thresholds: SensorThresholds::default(),
+            gate_timing: GateTiming::default(),
+            dt: 0.5e-9,
+            record_every: 4,
+            load_steps: Vec::new(),
+        }
+    }
+
+    /// Sets the power-stage parameters.
+    pub fn params(mut self, params: BuckParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the sensor thresholds.
+    pub fn thresholds(mut self, thresholds: SensorThresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Sets the gate-driver timing.
+    pub fn gate_timing(mut self, gate_timing: GateTiming) -> Self {
+        self.gate_timing = gate_timing;
+        self
+    }
+
+    /// Sets the maximum analog step (default 0.5 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive step.
+    pub fn dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0, "step must be positive");
+        self.dt = dt;
+        self
+    }
+
+    /// Records an analog sample every `n`·dt of simulated time (default
+    /// 4). Sampling on a fixed time grid keeps the recorded waveform
+    /// uniform even though the integration windows shrink at digital
+    /// event boundaries — RMS-based metrics depend on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn record_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "decimation must be positive");
+        self.record_every = n;
+        self
+    }
+
+    /// Schedules a load-resistance step at an absolute time.
+    pub fn load_step(mut self, at: f64, rload: f64) -> Self {
+        self.load_steps.push((at, rload));
+        self
+    }
+
+    /// Finalises with the given controller.
+    pub fn build<C: BuckController>(self, ctrl: C) -> Testbench<C> {
+        let phases = ctrl.phases();
+        assert_eq!(
+            phases, self.params.phases,
+            "controller and power stage disagree on phase count"
+        );
+        let mut pending: Vec<(f64, PendKind)> = self
+            .load_steps
+            .iter()
+            .map(|&(at, r)| (at, PendKind::LoadStep(r)))
+            .collect();
+        pending.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Testbench {
+            buck: Buck::new(self.params),
+            sensors: SensorBank::new(phases, self.thresholds),
+            ctrl,
+            gate_timing: self.gate_timing,
+            dt: self.dt,
+            record_every: self.record_every,
+            next_sample_at: 0.0,
+            pending,
+            record: Waveform::new(phases),
+            gp: vec![false; phases],
+            gn: vec![false; phases],
+            short_circuits: 0,
+            last_delivered: Time::ZERO,
+            debug_tracks: Vec::new(),
+        }
+    }
+}
+
+impl Default for TestbenchBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The mixed-signal testbench coupling buck, sensors, gate drivers, and
+/// a digital controller.
+///
+/// # Examples
+///
+/// ```
+/// use a4a::TestbenchBuilder;
+/// use a4a_ctrl::{AsyncController, AsyncTiming};
+///
+/// let ctrl = AsyncController::new(4, AsyncTiming::default());
+/// let mut tb = TestbenchBuilder::new().build(ctrl);
+/// tb.run_until(5e-6);
+/// assert!(tb.buck().output_voltage() > 3.0, "regulated near 3.3 V");
+/// ```
+#[derive(Debug)]
+pub struct Testbench<C: BuckController> {
+    buck: Buck,
+    sensors: SensorBank,
+    ctrl: C,
+    gate_timing: GateTiming,
+    dt: f64,
+    record_every: usize,
+    /// Next point of the uniform sampling grid.
+    next_sample_at: f64,
+    /// Pending side effects sorted by time (kept sorted on insert).
+    pending: Vec<(f64, PendKind)>,
+    record: Waveform,
+    /// Commanded-and-applied switch states.
+    gp: Vec<bool>,
+    gn: Vec<bool>,
+    /// Count of rejected simultaneous-on commands (must stay zero for a
+    /// correct controller; counted instead of panicking so experiments
+    /// can report it).
+    short_circuits: usize,
+    last_delivered: Time,
+    /// Last seen controller debug-track values (for change detection).
+    debug_tracks: Vec<(String, bool)>,
+}
+
+impl<C: BuckController> Testbench<C> {
+    /// The analog power stage.
+    pub fn buck(&self) -> &Buck {
+        &self.buck
+    }
+
+    /// The sensor bank.
+    pub fn sensors(&self) -> &SensorBank {
+        &self.sensors
+    }
+
+    /// The controller.
+    pub fn controller(&self) -> &C {
+        &self.ctrl
+    }
+
+    /// The recorded waveform so far.
+    pub fn waveform(&self) -> &Waveform {
+        &self.record
+    }
+
+    /// Consumes the bench, returning the waveform.
+    pub fn into_waveform(self) -> Waveform {
+        self.record
+    }
+
+    /// Number of rejected short-circuit commands (zero for a correct
+    /// controller).
+    pub fn short_circuits(&self) -> usize {
+        self.short_circuits
+    }
+
+    fn push_pending(&mut self, at: f64, kind: PendKind) {
+        let idx = self
+            .pending
+            .partition_point(|&(t, _)| t <= at);
+        self.pending.insert(idx, (at, kind));
+    }
+
+    /// Runs the co-simulation until `t_end` seconds.
+    pub fn run_until(&mut self, t_end: f64) {
+        while self.buck.time() < t_end {
+            let t = self.buck.time();
+            // Window end: the earliest of max-step, pending side effects,
+            // and controller wakeups.
+            let mut tn = (t + self.dt).min(t_end);
+            if let Some(&(tp, _)) = self.pending.first() {
+                if tp > t {
+                    tn = tn.min(tp);
+                }
+            }
+            if let Some(w) = self.ctrl.next_wakeup() {
+                let w = w.as_secs();
+                if w > t {
+                    tn = tn.min(w);
+                }
+            }
+            if tn <= t {
+                tn = t + self.dt.min(t_end - t).max(1e-12);
+            }
+
+            // 1. Integrate the analog stage over the window.
+            self.buck.step(tn - t);
+
+            // 2. Comparator events from the window.
+            let currents: Vec<f64> = (0..self.buck.params().phases)
+                .map(|k| self.buck.coil_current(k))
+                .collect();
+            let events = self
+                .sensors
+                .update(t, tn, self.buck.output_voltage(), &currents);
+
+            // 3. Deliver sensor events, controller wakeups, and pending
+            //    side effects in time order.
+            self.deliver(events, tn);
+
+            // 4. Record controller debug tracks (e.g. `act`,
+            //    `get & !pass`) on change, like Figure 6's signal rows.
+            let tracks = self.ctrl.debug_tracks();
+            if tracks != self.debug_tracks {
+                for (name, value) in &tracks {
+                    let changed = self
+                        .debug_tracks
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v != value)
+                        .unwrap_or(true);
+                    if changed {
+                        self.record.event(tn, name.clone(), *value);
+                    }
+                }
+                self.debug_tracks = tracks;
+            }
+
+            // 5. Record on a uniform time grid (windows vary in length,
+            //    so per-window decimation would bias RMS metrics toward
+            //    event-dense regions).
+            if tn >= self.next_sample_at {
+                let currents: Vec<f64> = (0..self.buck.params().phases)
+                    .map(|k| self.buck.coil_current(k))
+                    .collect();
+                self.record
+                    .sample(tn, self.buck.output_voltage(), &currents);
+                let period = self.dt * self.record_every as f64;
+                self.next_sample_at = (tn / period).floor() * period + period;
+            }
+        }
+    }
+
+    fn deliver(&mut self, mut events: Vec<SensorEvent>, tn: f64) {
+        loop {
+            // Earliest actionable item ≤ tn.
+            let t_sensor = events.first().map(|e| e.time);
+            let t_pend = self.pending.first().map(|p| p.0).filter(|&x| x <= tn);
+            let t_wake = self
+                .ctrl
+                .next_wakeup()
+                .map(|w| w.as_secs())
+                .filter(|&w| w <= tn);
+
+            let next = [t_sensor, t_pend, t_wake]
+                .into_iter()
+                .flatten()
+                .fold(f64::INFINITY, f64::min);
+            if !next.is_finite() {
+                break;
+            }
+
+            if Some(next) == t_wake && t_sensor.map(|x| next < x).unwrap_or(true)
+                && t_pend.map(|x| next < x).unwrap_or(true)
+            {
+                let tw = self.clamp_time(next);
+                self.ctrl.on_wakeup(tw);
+                self.drain_commands();
+                continue;
+            }
+            if Some(next) == t_pend && t_sensor.map(|x| next <= x).unwrap_or(true) {
+                let (at, kind) = self.pending.remove(0);
+                self.apply_pending(at, kind);
+                continue;
+            }
+            // Sensor event.
+            let ev = events.remove(0);
+            // Let the controller's internal clock catch up first.
+            let te = self.clamp_time(ev.time);
+            if let Some(w) = self.ctrl.next_wakeup() {
+                if w <= te {
+                    self.ctrl.on_wakeup(te);
+                    self.drain_commands();
+                }
+            }
+            self.record
+                .event(ev.time, ev.kind.to_string(), ev.value);
+            self.ctrl.on_sensor(te, ev.kind, ev.value);
+            self.drain_commands();
+        }
+    }
+
+    /// Monotonic clamp: the controller must never see time move
+    /// backwards even when interpolated event times interleave.
+    fn clamp_time(&mut self, secs: f64) -> Time {
+        let t = Time::from_secs(secs.max(0.0));
+        if t < self.last_delivered {
+            return self.last_delivered;
+        }
+        self.last_delivered = t;
+        t
+    }
+
+    fn apply_pending(&mut self, at: f64, kind: PendKind) {
+        match kind {
+            PendKind::Apply { phase, pmos, value } => {
+                let (gp, gn) = if pmos {
+                    (value, self.gn[phase])
+                } else {
+                    (self.gp[phase], value)
+                };
+                if gp && gn {
+                    // A buggy controller would short the bridge; refuse
+                    // and count (the STG-verified designs never hit this).
+                    self.short_circuits += 1;
+                    return;
+                }
+                self.gp[phase] = gp;
+                self.gn[phase] = gn;
+                self.buck.set_switch(phase, gp, gn);
+                self.record.event(
+                    at,
+                    format!("{}{}", if pmos { "gp" } else { "gn" }, phase),
+                    value,
+                );
+                self.push_pending(
+                    at + self.gate_timing.ack_delay.as_secs(),
+                    PendKind::Ack { phase, pmos, value },
+                );
+            }
+            PendKind::Ack { phase, pmos, value } => {
+                let t = self.clamp_time(at);
+                self.ctrl.on_gate_ack(t, phase, pmos, value);
+                self.drain_commands();
+            }
+            PendKind::OvMode(on) => {
+                let evs = self.sensors.set_ov_mode(on, at);
+                self.record.event(at, "ov_mode", on);
+                for ev in evs {
+                    let te = self.clamp_time(ev.time);
+                    self.record.event(ev.time, ev.kind.to_string(), ev.value);
+                    self.ctrl.on_sensor(te, ev.kind, ev.value);
+                }
+                self.drain_commands();
+            }
+            PendKind::LoadStep(r) => {
+                self.buck.set_load(r);
+                self.record.event(at, "load_step", true);
+            }
+        }
+    }
+
+    fn drain_commands(&mut self) {
+        let cmds: Vec<TimedCommand> = self.ctrl.take_commands();
+        for cmd in cmds {
+            let at = cmd.time.as_secs();
+            match cmd.command {
+                Command::Gate { phase, pmos, value } => {
+                    self.push_pending(
+                        at + self.gate_timing.driver_delay.as_secs(),
+                        PendKind::Apply { phase, pmos, value },
+                    );
+                }
+                Command::OvMode(on) => {
+                    self.push_pending(at, PendKind::OvMode(on));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4a_analog::metrics;
+    use a4a_ctrl::{AsyncController, AsyncTiming, SyncController, SyncParams};
+
+    #[test]
+    fn async_bench_regulates_startup() {
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        let mut tb = TestbenchBuilder::new().build(ctrl);
+        tb.run_until(5e-6);
+        let v = tb.buck().output_voltage();
+        assert!(v > 3.0 && v < 3.6, "v = {v}");
+        assert_eq!(tb.short_circuits(), 0);
+        assert!(!tb.waveform().is_empty());
+    }
+
+    #[test]
+    fn sync_bench_regulates_startup() {
+        let ctrl = SyncController::new(4, SyncParams::at_mhz(333.0));
+        let mut tb = TestbenchBuilder::new().build(ctrl);
+        tb.run_until(5e-6);
+        let v = tb.buck().output_voltage();
+        assert!(v > 3.0 && v < 3.6, "v = {v}");
+        assert_eq!(tb.short_circuits(), 0);
+    }
+
+    #[test]
+    fn load_step_recovers() {
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        let mut tb = TestbenchBuilder::new()
+            .load_step(5e-6, 4.0)
+            .load_step(7e-6, 6.0)
+            .build(ctrl);
+        tb.run_until(10e-6);
+        let v = tb.buck().output_voltage();
+        assert!(v > 3.0 && v < 3.6, "v = {v} after load excursion");
+        // The waveform saw the load steps.
+        assert!(tb
+            .waveform()
+            .events
+            .iter()
+            .filter(|(_, n, _)| n == "load_step")
+            .count()
+            == 2);
+    }
+
+    #[test]
+    fn async_ripple_below_sync_ripple() {
+        // The headline qualitative claim of Figure 6 in miniature.
+        let run = |sync: bool| -> f64 {
+            let builder = TestbenchBuilder::new();
+            let w = if sync {
+                let mut tb =
+                    builder.build(SyncController::new(4, SyncParams::at_mhz(100.0)));
+                tb.run_until(8e-6);
+                tb.into_waveform()
+            } else {
+                let mut tb =
+                    builder.build(AsyncController::new(4, AsyncTiming::default()));
+                tb.run_until(8e-6);
+                tb.into_waveform()
+            };
+            // Skip the startup transient.
+            metrics::voltage_ripple(&w.window(4e-6, 8e-6))
+        };
+        let sync_ripple = run(true);
+        let async_ripple = run(false);
+        assert!(
+            async_ripple <= sync_ripple,
+            "async {async_ripple} vs sync {sync_ripple}"
+        );
+    }
+
+    #[test]
+    fn waveform_events_recorded() {
+        let ctrl = AsyncController::new(2, AsyncTiming::default());
+        let mut tb = TestbenchBuilder::new()
+            .params(BuckParams::default().with_phases(2))
+            .build(ctrl);
+        tb.run_until(3e-6);
+        let w = tb.waveform();
+        assert!(w.events.iter().any(|(_, n, v)| n == "uv" && *v));
+        assert!(w.events.iter().any(|(_, n, _)| n == "gp0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on phase count")]
+    fn phase_mismatch_rejected() {
+        let ctrl = AsyncController::new(2, AsyncTiming::default());
+        let _ = TestbenchBuilder::new().build(ctrl);
+    }
+}
+
+#[cfg(test)]
+mod accuracy_tests {
+    use super::*;
+    use a4a_analog::metrics;
+    use a4a_ctrl::{AsyncController, AsyncTiming};
+
+    /// The co-simulation's headline metrics are robust to the analog
+    /// step size (the windowing at digital event boundaries does the
+    /// heavy lifting; dt only bounds the integration error).
+    #[test]
+    fn metrics_robust_to_dt() {
+        let run = |dt: f64| -> (f64, f64) {
+            let ctrl = AsyncController::new(4, AsyncTiming::default());
+            let mut tb = TestbenchBuilder::new().dt(dt).build(ctrl);
+            tb.run_until(4e-6);
+            let w = tb.into_waveform();
+            let steady = w.window(2e-6, 4e-6);
+            (
+                metrics::mean_voltage(&steady),
+                metrics::peak_current(&w),
+            )
+        };
+        let (v_coarse, i_coarse) = run(1e-9);
+        let (v_fine, i_fine) = run(0.25e-9);
+        assert!(
+            (v_coarse - v_fine).abs() < 0.05,
+            "mean voltage: {v_coarse} vs {v_fine}"
+        );
+        assert!(
+            (i_coarse - i_fine).abs() < 0.02,
+            "peak current: {i_coarse} vs {i_fine}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! The A4A flow (Figure 3) and the mixed-signal testbench of the
+//! multiphase buck case study.
+//!
+//! This crate is the front door of the reproduction:
+//!
+//! * [`A4aFlow`] — *specification → sanity check → synthesis → SI
+//!   verification → netlist/Verilog*, the automated pipeline the paper
+//!   implements in Workcraft on top of Petrify/Punf/MPSat;
+//! * [`Testbench`] — the Cadence-AMS stand-in: couples the analog buck
+//!   ([`a4a_analog::Buck`]), the comparator bank, the gate drivers, and
+//!   any [`a4a_ctrl::BuckController`] into one event-accurate
+//!   co-simulation producing [`a4a_analog::Waveform`] records;
+//! * [`scenario`] — the workloads of the evaluation section (startup /
+//!   normal load / high load / normal load of Figure 6, and the sweep
+//!   grids of Figure 7).
+//!
+//! # Examples
+//!
+//! Run the A4A flow end to end on an A2A element specification:
+//!
+//! ```
+//! use a4a::A4aFlow;
+//!
+//! let stg = a4a_a2a::spec::wait_stg();
+//! let result = A4aFlow::new(stg).run()?;
+//! assert!(result.sanity.is_clean());
+//! assert!(result.si.is_clean());
+//! assert!(result.verilog.contains("module wait"));
+//! # Ok::<(), a4a::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cosim;
+mod flow;
+pub mod scenario;
+
+pub use cosim::{Testbench, TestbenchBuilder};
+pub use flow::{A4aFlow, FlowError, FlowResult};
+
+pub use a4a_a2a as a2a;
+pub use a4a_analog as analog;
+pub use a4a_boolmin as boolmin;
+pub use a4a_ctrl as ctrl;
+pub use a4a_netlist as netlist;
+pub use a4a_petri as petri;
+pub use a4a_sim as sim;
+pub use a4a_stg as stg;
+pub use a4a_synth as synth;

@@ -1,0 +1,60 @@
+//! Gate-level substrate for the A4A flow.
+//!
+//! The synthesiser emits circuits into this crate's [`Netlist`]; the
+//! conformance checker and the Table-I latency measurements run on its
+//! event-driven [`sim::GateSim`]. The building blocks:
+//!
+//! * [`GateKind`] — combinational complex gates (arbitrary
+//!   [`a4a_boolmin::Expr`] over the pins), generalized C-elements
+//!   (set/reset covers around a state-holding output), Muller C-elements,
+//!   and mutex halves for arbitration;
+//! * [`GateLib`] — a 90 nm-class timing model assigning pin-to-pin rise
+//!   and fall delays from gate complexity (the PrimeTime stand-in);
+//! * [`sim::GateSim`] — deterministic event-driven simulation with
+//!   inertial delays; cancelled pulses are recorded as glitches, which is
+//!   how hazards are observed;
+//! * [`verilog`] — structural Verilog emission, including behavioural
+//!   definitions of the asynchronous primitives.
+//!
+//! # Examples
+//!
+//! Build and simulate an inverter loop driving a C-element:
+//!
+//! ```
+//! use a4a_netlist::{GateLib, NetlistBuilder};
+//! use a4a_netlist::sim::GateSim;
+//! use a4a_sim::Time;
+//!
+//! let lib = GateLib::tsmc90();
+//! let mut b = NetlistBuilder::new("demo");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let y = b.net("y");
+//! b.c_element(y, &[a, c], &lib);
+//! let netlist = b.build()?;
+//!
+//! let mut sim = GateSim::new(&netlist);
+//! sim.set_input(a, false);
+//! sim.set_input(c, false);
+//! sim.init_net(y, false);
+//! sim.settle(Time::from_ns(10.0));
+//! sim.set_input(a, true);
+//! sim.set_input(c, true);
+//! sim.settle(Time::from_ns(10.0));
+//! assert_eq!(sim.value(y).known(), Some(true));
+//! # Ok::<(), a4a_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decompose;
+mod gate;
+mod graph;
+pub mod path;
+pub mod sim;
+pub mod verilog;
+
+pub use decompose::{combinational_expr, decompose};
+pub use gate::{Delay, GateKind, GateLib};
+pub use graph::{Gate, GateId, Net, NetId, Netlist, NetlistBuilder, NetlistError};

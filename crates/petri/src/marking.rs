@@ -1,0 +1,129 @@
+use std::fmt;
+
+use crate::net::PlaceId;
+
+/// A token assignment for every place of a [`crate::PetriNet`].
+///
+/// Markings are value types: firing a transition produces a fresh marking,
+/// leaving the original untouched, so state-space exploration can keep
+/// markings as hash-map keys.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_petri::Marking;
+///
+/// let m = Marking::new(vec![1, 0, 2]);
+/// assert_eq!(m.total_tokens(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Marking {
+    tokens: Vec<u32>,
+}
+
+impl Marking {
+    /// Creates a marking from a per-place token vector.
+    pub fn new(tokens: Vec<u32>) -> Self {
+        Marking { tokens }
+    }
+
+    /// Tokens currently in `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` does not belong to the net this marking was built
+    /// for.
+    pub fn tokens(&self, place: PlaceId) -> u32 {
+        self.tokens[place.index()]
+    }
+
+    /// Number of places covered by this marking.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` for the empty (zero-place) marking.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Sum of tokens over all places.
+    pub fn total_tokens(&self) -> u64 {
+        self.tokens.iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// Returns `true` when no place holds more than one token.
+    pub fn is_safe(&self) -> bool {
+        self.tokens.iter().all(|&t| t <= 1)
+    }
+
+    /// Raw per-place slice, indexed by [`PlaceId::index`].
+    pub fn as_slice(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    pub(crate) fn add(&mut self, place: PlaceId, weight: u32) {
+        let slot = &mut self.tokens[place.index()];
+        *slot = slot.checked_add(weight).expect("token overflow");
+    }
+
+    pub(crate) fn remove(&mut self, place: PlaceId, weight: u32) {
+        let slot = &mut self.tokens[place.index()];
+        *slot = slot.checked_sub(weight).expect("token underflow");
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = Marking::new(vec![2, 0, 1]);
+        assert_eq!(m.tokens(PlaceId(0)), 2);
+        assert_eq!(m.tokens(PlaceId(2)), 1);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.total_tokens(), 3);
+    }
+
+    #[test]
+    fn safety() {
+        assert!(Marking::new(vec![1, 0, 1]).is_safe());
+        assert!(!Marking::new(vec![2, 0]).is_safe());
+    }
+
+    #[test]
+    fn mutation_checked() {
+        let mut m = Marking::new(vec![1]);
+        m.add(PlaceId(0), 2);
+        assert_eq!(m.tokens(PlaceId(0)), 3);
+        m.remove(PlaceId(0), 3);
+        assert_eq!(m.tokens(PlaceId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "token underflow")]
+    fn underflow_panics() {
+        let mut m = Marking::new(vec![0]);
+        m.remove(PlaceId(0), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Marking::new(vec![1, 0, 2]).to_string(), "[1 0 2]");
+    }
+}

@@ -1,0 +1,348 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Marking, PetriNet, TransitionId};
+
+/// Index of a state (marking) within a [`ReachabilityGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The initial state of every reachability graph.
+    pub const INITIAL: StateId = StateId(0);
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Error raised when state-space exploration exceeds its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The number of distinct reachable markings exceeded the caller's
+    /// limit; the net may be unbounded or simply too large.
+    StateLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::StateLimit { limit } => {
+                write!(f, "state space exceeds limit of {limit} markings")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+/// The explicit reachability graph of a [`PetriNet`].
+///
+/// States are markings, numbered in breadth-first discovery order starting
+/// from the initial marking ([`StateId::INITIAL`]). Edges are transition
+/// firings.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_petri::NetBuilder;
+///
+/// let mut b = NetBuilder::new();
+/// let p = b.place_with_tokens("p", 1);
+/// let q = b.place("q");
+/// let t = b.transition("t");
+/// b.arc_pt(p, t);
+/// b.arc_tp(t, q);
+/// let net = b.build();
+/// let reach = net.explore(100)?;
+/// assert_eq!(reach.state_count(), 2);
+/// assert_eq!(reach.deadlocks().len(), 1);
+/// # Ok::<(), a4a_petri::ExploreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph {
+    states: Vec<Marking>,
+    /// Outgoing edges per state: (fired transition, successor).
+    successors: Vec<Vec<(TransitionId, StateId)>>,
+}
+
+impl ReachabilityGraph {
+    /// Number of distinct reachable markings.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges (firings) in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// The marking of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not belong to this graph.
+    pub fn marking(&self, state: StateId) -> &Marking {
+        &self.states[state.index()]
+    }
+
+    /// Outgoing edges of `state` as (transition, successor) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not belong to this graph.
+    pub fn successors(&self, state: StateId) -> &[(TransitionId, StateId)] {
+        &self.successors[state.index()]
+    }
+
+    /// Iterates over all state ids in discovery order.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// States with no enabled transitions.
+    pub fn deadlocks(&self) -> Vec<StateId> {
+        self.state_ids()
+            .filter(|s| self.successors[s.index()].is_empty())
+            .collect()
+    }
+
+    /// Returns `true` when every reachable marking is 1-bounded.
+    pub fn is_safe(&self) -> bool {
+        self.states.iter().all(Marking::is_safe)
+    }
+
+    /// The maximum token count observed in any place over all reachable
+    /// markings (the net's bound).
+    pub fn bound(&self) -> u32 {
+        self.states
+            .iter()
+            .flat_map(|m| m.as_slice().iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Finds a shortest firing sequence from the initial state to `target`.
+    ///
+    /// Returns the transitions fired along the way; empty for the initial
+    /// state itself. Useful for producing violation traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` does not belong to this graph.
+    pub fn trace_to(&self, target: StateId) -> Vec<TransitionId> {
+        assert!(target.index() < self.states.len(), "unknown state {target}");
+        // BFS from the initial state recording parents.
+        let mut parent: Vec<Option<(StateId, TransitionId)>> = vec![None; self.states.len()];
+        let mut visited = vec![false; self.states.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[StateId::INITIAL.index()] = true;
+        queue.push_back(StateId::INITIAL);
+        while let Some(s) = queue.pop_front() {
+            if s == target {
+                break;
+            }
+            for &(t, succ) in &self.successors[s.index()] {
+                if !visited[succ.index()] {
+                    visited[succ.index()] = true;
+                    parent[succ.index()] = Some((s, t));
+                    queue.push_back(succ);
+                }
+            }
+        }
+        let mut trace = Vec::new();
+        let mut cur = target;
+        while let Some((prev, t)) = parent[cur.index()] {
+            trace.push(t);
+            cur = prev;
+        }
+        trace.reverse();
+        trace
+    }
+}
+
+impl PetriNet {
+    /// Explores the state space breadth-first from the initial marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::StateLimit`] if more than `max_states`
+    /// distinct markings are discovered, which indicates an unbounded net
+    /// or one too large for explicit exploration.
+    pub fn explore(&self, max_states: usize) -> Result<ReachabilityGraph, ExploreError> {
+        self.explore_from(self.initial_marking(), max_states)
+    }
+
+    /// Explores the state space breadth-first from an arbitrary marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::StateLimit`] if more than `max_states`
+    /// distinct markings are discovered.
+    pub fn explore_from(
+        &self,
+        initial: Marking,
+        max_states: usize,
+    ) -> Result<ReachabilityGraph, ExploreError> {
+        let mut index: HashMap<Marking, StateId> = HashMap::new();
+        let mut states = Vec::new();
+        let mut successors: Vec<Vec<(TransitionId, StateId)>> = Vec::new();
+
+        index.insert(initial.clone(), StateId(0));
+        states.push(initial);
+        successors.push(Vec::new());
+
+        let mut frontier = 0usize;
+        while frontier < states.len() {
+            let current = StateId(frontier as u32);
+            let marking = states[frontier].clone();
+            for t in self.transition_ids() {
+                if !self.is_enabled(t, &marking) {
+                    continue;
+                }
+                let next = self.fire(t, &marking);
+                let next_id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if states.len() >= max_states {
+                            return Err(ExploreError::StateLimit { limit: max_states });
+                        }
+                        let id = StateId(states.len() as u32);
+                        index.insert(next.clone(), id);
+                        states.push(next);
+                        successors.push(Vec::new());
+                        id
+                    }
+                };
+                successors[current.index()].push((t, next_id));
+            }
+            frontier += 1;
+        }
+        Ok(ReachabilityGraph { states, successors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    /// Two independent loops: state space is the product (4 states).
+    fn two_loops() -> PetriNet {
+        let mut b = NetBuilder::new();
+        let a0 = b.place_with_tokens("a0", 1);
+        let a1 = b.place("a1");
+        let b0 = b.place_with_tokens("b0", 1);
+        let b1 = b.place("b1");
+        for (name, src, dst) in [
+            ("ta0", a0, a1),
+            ("ta1", a1, a0),
+            ("tb0", b0, b1),
+            ("tb1", b1, b0),
+        ] {
+            let t = b.transition(name);
+            b.arc_pt(src, t);
+            b.arc_tp(t, dst);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn product_state_space() {
+        let net = two_loops();
+        let g = net.explore(100).unwrap();
+        assert_eq!(g.state_count(), 4);
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.deadlocks().is_empty());
+        assert!(g.is_safe());
+        assert_eq!(g.bound(), 1);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut b = NetBuilder::new();
+        let p = b.place_with_tokens("p", 1);
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_pt(p, t);
+        b.arc_tp(t, q);
+        let net = b.build();
+        let g = net.explore(10).unwrap();
+        assert_eq!(g.deadlocks(), vec![StateId(1)]);
+    }
+
+    #[test]
+    fn unbounded_net_hits_limit() {
+        let mut b = NetBuilder::new();
+        let p = b.place_with_tokens("p", 1);
+        let t = b.transition("t");
+        b.arc_read(p, t);
+        b.arc_tp(t, p); // produces without consuming: unbounded
+        let net = b.build();
+        let err = net.explore(16).unwrap_err();
+        assert_eq!(err, ExploreError::StateLimit { limit: 16 });
+    }
+
+    #[test]
+    fn bound_reports_max_tokens() {
+        let mut b = NetBuilder::new();
+        let p = b.place_with_tokens("p", 2);
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_pt(p, t);
+        b.arc_tp_weighted(t, q, 3);
+        let net = b.build();
+        let g = net.explore(100).unwrap();
+        assert_eq!(g.bound(), 6, "two firings of weight-3 production");
+        assert!(!g.is_safe());
+    }
+
+    #[test]
+    fn trace_to_finds_shortest_path() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place_with_tokens("p0", 1);
+        let p1 = b.place("p1");
+        let p2 = b.place("p2");
+        let t0 = b.transition("t0");
+        let t1 = b.transition("t1");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p2);
+        let net = b.build();
+        let g = net.explore(10).unwrap();
+        let dead = g.deadlocks()[0];
+        assert_eq!(g.trace_to(dead), vec![t0, t1]);
+        assert_eq!(g.trace_to(StateId::INITIAL), vec![]);
+    }
+
+    #[test]
+    fn explore_from_alternative_marking() {
+        let net = two_loops();
+        let m = Marking::new(vec![0, 1, 0, 1]);
+        let g = net.explore_from(m, 100).unwrap();
+        assert_eq!(g.state_count(), 4);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let net = two_loops();
+        let g1 = net.explore(100).unwrap();
+        let g2 = net.explore(100).unwrap();
+        for s in g1.state_ids() {
+            assert_eq!(g1.marking(s), g2.marking(s));
+            assert_eq!(g1.successors(s), g2.successors(s));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the Petri-net substrate: random token rings
+//! and pipelines, checking conservation, determinism, and invariant
+//! algebra.
+
+use a4a_petri::{NetBuilder, PetriNet};
+use proptest::prelude::*;
+
+/// A ring of `n` places with `tokens` initial tokens spread from place 0.
+fn ring(n: usize, tokens: u32) -> PetriNet {
+    let mut b = NetBuilder::new();
+    let places: Vec<_> = (0..n)
+        .map(|i| b.place_with_tokens(format!("p{i}"), if i == 0 { tokens } else { 0 }))
+        .collect();
+    for i in 0..n {
+        let t = b.transition(format!("t{i}"));
+        b.arc_pt(places[i], t);
+        b.arc_tp(t, places[(i + 1) % n]);
+    }
+    b.build()
+}
+
+proptest! {
+    /// Rings conserve their token count in every reachable marking.
+    #[test]
+    fn ring_conserves_tokens(n in 2usize..7, tokens in 1u32..4) {
+        let net = ring(n, tokens);
+        let g = net.explore(200_000).unwrap();
+        for s in g.state_ids() {
+            prop_assert_eq!(g.marking(s).total_tokens(), u64::from(tokens));
+        }
+        // The all-ones weight vector is always an invariant of a ring.
+        let ones = vec![1i64; n];
+        prop_assert!(net.is_place_invariant(&ones));
+        prop_assert!(net.covered_by_invariants());
+    }
+
+    /// Exploration is deterministic: two runs give identical graphs.
+    #[test]
+    fn exploration_deterministic(n in 2usize..6, tokens in 1u32..3) {
+        let net = ring(n, tokens);
+        let g1 = net.explore(200_000).unwrap();
+        let g2 = net.explore(200_000).unwrap();
+        prop_assert_eq!(g1.state_count(), g2.state_count());
+        for s in g1.state_ids() {
+            prop_assert_eq!(g1.marking(s), g2.marking(s));
+            prop_assert_eq!(g1.successors(s), g2.successors(s));
+        }
+    }
+
+    /// Firing any enabled transition preserves every computed invariant.
+    #[test]
+    fn invariants_survive_any_firing(
+        n in 2usize..6,
+        steps in proptest::collection::vec(0usize..8, 0..30),
+    ) {
+        let net = ring(n, 2);
+        let invariants = net.place_invariants();
+        let mut marking = net.initial_marking();
+        let sums: Vec<i64> = invariants.iter().map(|inv| inv.sum(&marking)).collect();
+        for pick in steps {
+            let enabled = net.enabled(&marking);
+            if enabled.is_empty() {
+                break;
+            }
+            let t = enabled[pick % enabled.len()];
+            marking = net.fire(t, &marking);
+            for (inv, &s0) in invariants.iter().zip(&sums) {
+                prop_assert_eq!(inv.sum(&marking), s0);
+            }
+        }
+    }
+
+    /// A linear pipeline of length n has exactly n+1 reachable markings
+    /// (token positions) and one deadlock.
+    #[test]
+    fn pipeline_state_count(n in 1usize..10) {
+        let mut b = NetBuilder::new();
+        let places: Vec<_> = (0..=n)
+            .map(|i| b.place_with_tokens(format!("p{i}"), u32::from(i == 0)))
+            .collect();
+        for i in 0..n {
+            let t = b.transition(format!("t{i}"));
+            b.arc_pt(places[i], t);
+            b.arc_tp(t, places[i + 1]);
+        }
+        let net = b.build();
+        let g = net.explore(10_000).unwrap();
+        prop_assert_eq!(g.state_count(), n + 1);
+        prop_assert_eq!(g.deadlocks().len(), 1);
+        // The trace to the deadlock has length n.
+        let dead = g.deadlocks()[0];
+        prop_assert_eq!(g.trace_to(dead).len(), n);
+    }
+
+    /// Product of k independent toggles has 2^k states.
+    #[test]
+    fn independent_components_multiply(k in 1usize..5) {
+        let mut b = NetBuilder::new();
+        for i in 0..k {
+            let p0 = b.place_with_tokens(format!("a{i}"), 1);
+            let p1 = b.place(format!("b{i}"));
+            let t0 = b.transition(format!("t{i}_0"));
+            let t1 = b.transition(format!("t{i}_1"));
+            b.arc_pt(p0, t0);
+            b.arc_tp(t0, p1);
+            b.arc_pt(p1, t1);
+            b.arc_tp(t1, p0);
+        }
+        let net = b.build();
+        let g = net.explore(100_000).unwrap();
+        prop_assert_eq!(g.state_count(), 1 << k);
+    }
+}

@@ -1,0 +1,38 @@
+//! Simulation substrate shared by every simulator in the A4A buck
+//! reproduction.
+//!
+//! Three building blocks live here:
+//!
+//! * [`Time`] — an integer femtosecond timestamp. Event-driven simulation
+//!   needs exact time comparison (two events scheduled "at the same time"
+//!   must compare equal), which floating-point seconds cannot guarantee.
+//!   One femtosecond of resolution spans eighteen thousand seconds in a
+//!   `u64`, far beyond the microsecond scale of the buck experiments.
+//! * [`Logic`] — a three-valued digital level (`Zero`, `One`, `X`) used by
+//!   the gate-level simulator before reset and to model metastability.
+//! * [`Scheduler`] — a deterministic discrete-event queue. Events that carry
+//!   the same timestamp are delivered in insertion order, so a simulation
+//!   run is a pure function of its inputs and seeds.
+//!
+//! # Examples
+//!
+//! ```
+//! use a4a_sim::{Scheduler, Time};
+//!
+//! let mut sched: Scheduler<&'static str> = Scheduler::new();
+//! sched.schedule(Time::from_ns(5.0), "late");
+//! sched.schedule(Time::from_ns(1.0), "early");
+//! let (t, ev) = sched.pop().expect("two events queued");
+//! assert_eq!((t, ev), (Time::from_ns(1.0), "early"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod logic;
+mod sched;
+mod time;
+
+pub use logic::Logic;
+pub use sched::{EventKey, Scheduler};
+pub use time::Time;

@@ -1,0 +1,176 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A three-valued digital logic level.
+///
+/// `X` represents an unknown or metastable level: gate outputs before
+/// initialisation, and the output of a synchroniser or arbiter while it is
+/// still resolving. Boolean operators follow the usual pessimistic
+/// three-valued algebra (`X & Zero == Zero`, `X & One == X`, ...), so `X`
+/// propagates exactly as far as it can actually influence the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_sim::Logic;
+///
+/// assert_eq!(Logic::X.and(Logic::Zero), Logic::Zero);
+/// assert_eq!(Logic::X.or(Logic::One), Logic::One);
+/// assert_eq!(!Logic::X, Logic::X);
+/// assert_eq!(Logic::from(true), Logic::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown or metastable.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Returns `true` when the level is definitely [`Logic::One`].
+    pub fn is_one(self) -> bool {
+        self == Logic::One
+    }
+
+    /// Returns `true` when the level is definitely [`Logic::Zero`].
+    pub fn is_zero(self) -> bool {
+        self == Logic::Zero
+    }
+
+    /// Returns `true` when the level is unknown.
+    pub fn is_x(self) -> bool {
+        self == Logic::X
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Converts to `bool`, treating `X` pessimistically as the given
+    /// default.
+    pub fn to_bool(self, default_for_x: bool) -> bool {
+        match self {
+            Logic::Zero => false,
+            Logic::One => true,
+            Logic::X => default_for_x,
+        }
+    }
+
+    /// Converts to `Option<bool>`, `None` for `X`.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(value: bool) -> Logic {
+        if value {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Logic::One.and(Logic::One), Logic::One);
+        assert_eq!(Logic::One.and(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::X.and(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::X.and(Logic::One), Logic::X);
+        assert_eq!(Logic::X.and(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Logic::Zero.or(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::Zero.or(Logic::One), Logic::One);
+        assert_eq!(Logic::X.or(Logic::One), Logic::One);
+        assert_eq!(Logic::X.or(Logic::Zero), Logic::X);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_three_values() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a.and(b)), (!a).or(!b));
+                assert_eq!(!(a.or(b)), (!a).and(!b));
+            }
+        }
+    }
+
+    #[test]
+    fn double_negation() {
+        for a in ALL {
+            assert_eq!(!!a, a);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.known(), Some(true));
+        assert_eq!(Logic::X.known(), None);
+        assert!(Logic::X.to_bool(true));
+        assert!(!Logic::X.to_bool(false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::X.to_string(), "x");
+    }
+}

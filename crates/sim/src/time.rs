@@ -1,0 +1,247 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A simulation timestamp with femtosecond resolution.
+///
+/// `Time` wraps an unsigned femtosecond count. Integer timestamps make
+/// event ordering exact: `t + dt - dt == t` always holds, and two events
+/// scheduled for "the same instant" genuinely compare equal, which a
+/// floating-point representation cannot guarantee.
+///
+/// Construction helpers exist for the scales that appear in the buck
+/// experiments (`ps`, `ns`, `us`); conversion back to floating-point seconds
+/// is provided for the analog solver.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_sim::Time;
+///
+/// let t = Time::from_ns(2.5) + Time::from_ps(500.0);
+/// assert_eq!(t, Time::from_ns(3.0));
+/// assert!((t.as_secs() - 3.0e-9).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero timestamp (simulation start).
+    pub const ZERO: Time = Time(0);
+    /// The largest representable timestamp; useful as an "never" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a timestamp from an integer number of femtoseconds.
+    pub const fn from_fs(fs: u64) -> Self {
+        Time(fs)
+    }
+
+    /// Creates a timestamp from picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is negative or not finite.
+    pub fn from_ps(ps: f64) -> Self {
+        Self::from_scaled(ps, 1e3)
+    }
+
+    /// Creates a timestamp from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns(ns: f64) -> Self {
+        Self::from_scaled(ns, 1e6)
+    }
+
+    /// Creates a timestamp from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_us(us: f64) -> Self {
+        Self::from_scaled(us, 1e9)
+    }
+
+    /// Creates a timestamp from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        Self::from_scaled(secs, 1e15)
+    }
+
+    fn from_scaled(value: f64, scale: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "time must be finite and non-negative, got {value}"
+        );
+        Time((value * scale).round() as u64)
+    }
+
+    /// Returns the raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the timestamp in seconds as a floating-point number.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Returns the timestamp in nanoseconds as a floating-point number.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Returns the timestamp in microseconds as a floating-point number.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating subtraction: returns `self - other`, or [`Time::ZERO`]
+    /// when `other` is later than `self`.
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition that saturates at [`Time::MAX`] instead of
+    /// overflowing, so `Time::MAX + dt` stays a valid "never" sentinel.
+    pub fn saturating_add(self, other: Time) -> Time {
+        Time(self.0.saturating_add(other.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("time underflow"))
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.checked_mul(rhs).expect("time overflow"))
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs = self.0;
+        if fs == u64::MAX {
+            write!(f, "never")
+        } else if fs >= 1_000_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else if fs >= 1_000_000 {
+            write!(f, "{:.3}ns", self.as_ns())
+        } else if fs >= 1_000 {
+            write!(f, "{:.3}ps", fs as f64 / 1e3)
+        } else {
+            write!(f, "{}fs", fs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Time::from_ns(1.0), Time::from_fs(1_000_000));
+        assert_eq!(Time::from_ps(1.0), Time::from_fs(1_000));
+        assert_eq!(Time::from_us(1.0), Time::from_fs(1_000_000_000));
+        assert_eq!(Time::from_secs(1e-15), Time::from_fs(1));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Time::from_ns(3.25);
+        let dt = Time::from_ps(17.0);
+        assert_eq!(t + dt - dt, t);
+        assert_eq!(t * 2 / 2, t);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Time::from_ns(1.0).saturating_sub(Time::from_ns(2.0)), Time::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_ns(1.0)), Time::MAX);
+    }
+
+    #[test]
+    fn conversions_to_float() {
+        let t = Time::from_ns(7.5);
+        assert!((t.as_ns() - 7.5).abs() < 1e-12);
+        assert!((t.as_secs() - 7.5e-9).abs() < 1e-21);
+        assert!((t.as_us() - 0.0075).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Time::from_fs(12).to_string(), "12fs");
+        assert_eq!(Time::from_ns(2.0).to_string(), "2.000ns");
+        assert_eq!(Time::from_us(3.0).to_string(), "3.000us");
+        assert_eq!(Time::MAX.to_string(), "never");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Time::from_ns(5.0), Time::ZERO, Time::from_ps(1.0)];
+        v.sort();
+        assert_eq!(v, vec![Time::ZERO, Time::from_ps(1.0), Time::from_ns(5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let _ = Time::from_ns(-1.0);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [Time::from_ns(1.0), Time::from_ns(2.0)].into_iter().sum();
+        assert_eq!(total, Time::from_ns(3.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the simulation substrate.
+
+use a4a_sim::{Logic, Scheduler, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order regardless of insertion
+    /// order, with FIFO tie-breaking.
+    #[test]
+    fn scheduler_orders_any_sequence(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sched = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            sched.schedule(Time::from_fs(t), i);
+        }
+        let mut last_time = Time::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut count = 0;
+        while let Some((t, idx)) = sched.pop() {
+            prop_assert!(t >= last_time, "time went backwards");
+            if t != last_time {
+                seen_at_time.clear();
+            }
+            // FIFO among equal times: indices increase.
+            if let Some(&prev) = seen_at_time.last() {
+                if times[prev] == times[idx] {
+                    prop_assert!(idx > prev, "FIFO violated");
+                }
+            }
+            seen_at_time.push(idx);
+            last_time = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn scheduler_cancellation(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut sched = Scheduler::new();
+        let keys: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| sched.schedule(Time::from_fs(t), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let cancel = cancel_mask.get(i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(sched.cancel(*key));
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut delivered: Vec<usize> = Vec::new();
+        while let Some((_, idx)) = sched.pop() {
+            delivered.push(idx);
+        }
+        delivered.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// Time arithmetic round-trips for any femtosecond pair.
+    #[test]
+    fn time_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = Time::from_fs(a);
+        let tb = Time::from_fs(b);
+        prop_assert_eq!(ta + tb - tb, ta);
+        prop_assert_eq!((ta + tb).saturating_sub(ta), tb);
+        prop_assert!(ta.saturating_sub(ta + tb) == Time::ZERO);
+    }
+
+    /// Three-valued logic refines Boolean logic: on known values the
+    /// operators agree with bool.
+    #[test]
+    fn logic_refines_bool(a in any::<bool>(), b in any::<bool>()) {
+        let la = Logic::from(a);
+        let lb = Logic::from(b);
+        prop_assert_eq!(la.and(lb), Logic::from(a && b));
+        prop_assert_eq!(la.or(lb), Logic::from(a || b));
+        prop_assert_eq!(!la, Logic::from(!a));
+    }
+
+    /// X is absorbing except against controlling values.
+    #[test]
+    fn logic_x_pessimism(a in any::<bool>()) {
+        let la = Logic::from(a);
+        prop_assert_eq!(Logic::X.and(la), if a { Logic::X } else { Logic::Zero });
+        prop_assert_eq!(Logic::X.or(la), if a { Logic::One } else { Logic::X });
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, parsing, or exploring an STG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StgError {
+    /// The specification is inconsistent: an edge fires against the
+    /// current value of its signal (e.g. `s+` while `s` is already 1).
+    Inconsistent {
+        /// The offending signal name.
+        signal: String,
+        /// The offending transition name.
+        transition: String,
+        /// A firing sequence (transition names) leading to the violation.
+        trace: Vec<String>,
+    },
+    /// State-space exploration exceeded its budget.
+    StateLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A `.g` file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Two STGs could not be composed.
+    Compose {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::Inconsistent {
+                signal,
+                transition,
+                trace,
+            } => write!(
+                f,
+                "inconsistent STG: {transition} fires while {signal} already holds its target value (trace: {})",
+                trace.join(", ")
+            ),
+            StgError::StateLimit { limit } => {
+                write!(f, "state graph exceeds limit of {limit} states")
+            }
+            StgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            StgError::Compose { message } => write!(f, "composition error: {message}"),
+        }
+    }
+}
+
+impl Error for StgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StgError::Inconsistent {
+            signal: "uv".into(),
+            transition: "uv+".into(),
+            trace: vec!["uv+".into(), "uv+".into()],
+        };
+        assert!(e.to_string().contains("inconsistent"));
+        assert!(e.to_string().contains("uv+, uv+"));
+        assert!(StgError::StateLimit { limit: 5 }.to_string().contains('5'));
+        let p = StgError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+        let c = StgError::Compose {
+            message: "clash".into(),
+        };
+        assert!(c.to_string().contains("clash"));
+    }
+}

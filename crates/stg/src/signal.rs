@@ -1,0 +1,200 @@
+use std::fmt;
+
+/// Index of a signal within its [`crate::Stg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Returns the raw index (also the signal's bit position in state
+    /// codes).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The bit mask of this signal within a binary state code.
+    pub fn mask(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig{}", self.0)
+    }
+}
+
+/// Interface role of a signal, following STG conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Driven by the environment; the controller must tolerate it.
+    Input,
+    /// Driven by the controller and observable at the interface.
+    Output,
+    /// Driven by the controller but hidden from the interface (used to
+    /// resolve state-coding conflicts).
+    Internal,
+}
+
+impl SignalKind {
+    /// Returns `true` for signals the synthesised circuit must implement
+    /// (outputs and internals).
+    pub fn is_implemented(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SignalKind::Input => "input",
+            SignalKind::Output => "output",
+            SignalKind::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A declared interface signal of an STG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    /// Name (unique within the STG).
+    pub name: String,
+    /// Interface role.
+    pub kind: SignalKind,
+    /// Value in the initial state.
+    pub initial: bool,
+}
+
+/// Direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Polarity {
+    /// `s+`: the signal goes from 0 to 1.
+    Rising,
+    /// `s-`: the signal goes from 1 to 0.
+    Falling,
+}
+
+impl Polarity {
+    /// The value the signal has *after* an edge of this polarity.
+    pub fn target_value(self) -> bool {
+        matches!(self, Polarity::Rising)
+    }
+
+    /// The opposite polarity.
+    pub fn opposite(self) -> Polarity {
+        match self {
+            Polarity::Rising => Polarity::Falling,
+            Polarity::Falling => Polarity::Rising,
+        }
+    }
+
+    /// The suffix used in transition names (`+` or `-`).
+    pub fn suffix(self) -> char {
+        match self {
+            Polarity::Rising => '+',
+            Polarity::Falling => '-',
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// A signal edge: a (signal, polarity) pair.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_stg::{Edge, Polarity, SignalId};
+///
+/// let e = Edge::rising(SignalId::from_index(3));
+/// assert_eq!(e.polarity, Polarity::Rising);
+/// assert_eq!(e.opposite().polarity, Polarity::Falling);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// The signal that toggles.
+    pub signal: SignalId,
+    /// The direction of the toggle.
+    pub polarity: Polarity,
+}
+
+impl Edge {
+    /// A rising edge of `signal`.
+    pub fn rising(signal: SignalId) -> Edge {
+        Edge {
+            signal,
+            polarity: Polarity::Rising,
+        }
+    }
+
+    /// A falling edge of `signal`.
+    pub fn falling(signal: SignalId) -> Edge {
+        Edge {
+            signal,
+            polarity: Polarity::Falling,
+        }
+    }
+
+    /// The same signal's edge in the other direction.
+    pub fn opposite(self) -> Edge {
+        Edge {
+            signal: self.signal,
+            polarity: self.polarity.opposite(),
+        }
+    }
+}
+
+impl SignalId {
+    /// Constructs a signal id from a raw index.
+    ///
+    /// Exposed for building [`Edge`] values in tests and downstream
+    /// crates; ids are only meaningful relative to a specific [`crate::Stg`].
+    pub fn from_index(index: usize) -> SignalId {
+        SignalId(index as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_semantics() {
+        assert!(Polarity::Rising.target_value());
+        assert!(!Polarity::Falling.target_value());
+        assert_eq!(Polarity::Rising.opposite(), Polarity::Falling);
+        assert_eq!(Polarity::Rising.suffix(), '+');
+        assert_eq!(Polarity::Falling.to_string(), "-");
+    }
+
+    #[test]
+    fn signal_mask() {
+        assert_eq!(SignalId(0).mask(), 1);
+        assert_eq!(SignalId(5).mask(), 32);
+    }
+
+    #[test]
+    fn kind_implemented() {
+        assert!(!SignalKind::Input.is_implemented());
+        assert!(SignalKind::Output.is_implemented());
+        assert!(SignalKind::Internal.is_implemented());
+    }
+
+    #[test]
+    fn edge_constructors() {
+        let s = SignalId::from_index(2);
+        assert_eq!(Edge::rising(s).opposite(), Edge::falling(s));
+        assert_eq!(Edge::falling(s).signal.index(), 2);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(SignalKind::Input.to_string(), "input");
+        assert_eq!(SignalKind::Output.to_string(), "output");
+        assert_eq!(SignalKind::Internal.to_string(), "internal");
+    }
+}

@@ -1,0 +1,396 @@
+//! The A4A sanity checks: deadlock-freeness, output persistence, unique
+//! and complete state coding, and user-defined safety invariants.
+//!
+//! Consistency is checked implicitly by [`Stg::state_graph`] — a
+//! [`StateGraph`] can only exist for a consistent STG.
+
+use std::collections::HashMap;
+
+use crate::{Edge, SgStateId, SignalId, SignalKind, StateGraph, Stg};
+
+/// An output-persistence violation: an enabled output edge was disabled
+/// by another transition firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceViolation {
+    /// State in which the output edge was enabled.
+    pub state: SgStateId,
+    /// The output edge that got disabled.
+    pub disabled: Edge,
+    /// Name of the transition whose firing disabled it.
+    pub by: String,
+    /// Firing trace (transition names) from the initial state to `state`.
+    pub trace: Vec<String>,
+}
+
+/// A state-coding conflict: two states share a binary code but disagree
+/// on the excitation of a non-input signal (CSC), or merely on marking
+/// (USC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscConflict {
+    /// First state.
+    pub first: SgStateId,
+    /// Second state.
+    pub second: SgStateId,
+    /// The shared binary code.
+    pub code: u64,
+    /// Non-input signals whose excitation differs (empty for a pure USC
+    /// conflict).
+    pub signals: Vec<SignalId>,
+}
+
+impl CscConflict {
+    /// Returns `true` when this is a complete-state-coding conflict (an
+    /// excitation mismatch), not merely a unique-state-coding one.
+    pub fn is_csc(&self) -> bool {
+        !self.signals.is_empty()
+    }
+}
+
+/// Result of running the standard checks over a state graph.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Deadlocked states (no enabled transitions).
+    pub deadlocks: Vec<SgStateId>,
+    /// Output-persistence violations.
+    pub persistence: Vec<PersistenceViolation>,
+    /// State-coding conflicts (USC and CSC).
+    pub coding: Vec<CscConflict>,
+}
+
+impl VerifyReport {
+    /// Returns `true` when the specification passed every check required
+    /// for speed-independent implementation: deadlock-free,
+    /// output-persistent, and free of CSC conflicts.
+    ///
+    /// Pure USC conflicts (same code, same behaviour) are benign for
+    /// synthesis and do not fail this predicate.
+    pub fn is_clean(&self) -> bool {
+        self.deadlocks.is_empty()
+            && self.persistence.is_empty()
+            && !self.coding.iter().any(CscConflict::is_csc)
+    }
+
+    /// Only the CSC conflicts (the ones that block synthesis).
+    pub fn csc_conflicts(&self) -> Vec<&CscConflict> {
+        self.coding.iter().filter(|c| c.is_csc()).collect()
+    }
+
+    /// Renders a human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "deadlocks: {}\npersistence violations: {}\nUSC conflicts: {}\nCSC conflicts: {}\n",
+            self.deadlocks.len(),
+            self.persistence.len(),
+            self.coding.iter().filter(|c| !c.is_csc()).count(),
+            self.csc_conflicts().len(),
+        ));
+        out.push_str(if self.is_clean() {
+            "verdict: clean\n"
+        } else {
+            "verdict: VIOLATIONS FOUND\n"
+        });
+        out
+    }
+}
+
+impl Stg {
+    /// Runs the standard A4A sanity checks over a previously built state
+    /// graph.
+    pub fn verify(&self, sg: &StateGraph) -> VerifyReport {
+        VerifyReport {
+            deadlocks: deadlocks(sg),
+            persistence: output_persistence(self, sg),
+            coding: coding_conflicts(self, sg),
+        }
+    }
+
+    /// Checks a user-defined safety invariant over all reachable codes.
+    ///
+    /// Returns the states whose code violates `invariant` (i.e. where the
+    /// predicate returns `false`), e.g. the PMOS/NMOS short-circuit check
+    /// `!(gp && gn_as_active)`.
+    pub fn check_invariant<F>(&self, sg: &StateGraph, invariant: F) -> Vec<SgStateId>
+    where
+        F: Fn(u64) -> bool,
+    {
+        sg.state_ids().filter(|&s| !invariant(sg.code(s))).collect()
+    }
+
+    /// Convenience form of [`Stg::check_invariant`]: verifies that two
+    /// signals are never simultaneously high in any reachable state.
+    ///
+    /// This is the paper's "absence of a short circuit in PMOS/NMOS
+    /// transistors" property (with the PMOS gate signal active-low in the
+    /// real circuit, mutual exclusion of the *on* states is what matters).
+    pub fn check_mutual_exclusion(
+        &self,
+        sg: &StateGraph,
+        a: SignalId,
+        b: SignalId,
+    ) -> Vec<SgStateId> {
+        self.check_invariant(sg, |code| {
+            !(code & a.mask() != 0 && code & b.mask() != 0)
+        })
+    }
+}
+
+fn deadlocks(sg: &StateGraph) -> Vec<SgStateId> {
+    sg.state_ids()
+        .filter(|&s| sg.successors(s).is_empty())
+        .collect()
+}
+
+fn output_persistence(stg: &Stg, sg: &StateGraph) -> Vec<PersistenceViolation> {
+    let mut violations = Vec::new();
+    for s in sg.state_ids() {
+        let enabled = sg.enabled_edges(stg, s);
+        let outputs: Vec<Edge> = enabled
+            .into_iter()
+            .filter(|e| stg.signal(e.signal).kind.is_implemented())
+            .collect();
+        if outputs.is_empty() {
+            continue;
+        }
+        for &(t, succ) in sg.successors(s) {
+            let fired = stg.label(t).edge();
+            let after = sg.enabled_edges(stg, succ);
+            for &out in &outputs {
+                if fired == Some(out) {
+                    continue; // the edge itself fired
+                }
+                // Firing an edge of the same signal counts as the signal
+                // making progress (choice between multiple transitions of
+                // one edge is not a persistence violation).
+                if let Some(f) = fired {
+                    if f.signal == out.signal {
+                        continue;
+                    }
+                }
+                if !after.contains(&out) {
+                    violations.push(PersistenceViolation {
+                        state: s,
+                        disabled: out,
+                        by: stg.transition_name(t),
+                        trace: sg
+                            .trace_to(s)
+                            .into_iter()
+                            .map(|t| stg.transition_name(t))
+                            .collect(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn coding_conflicts(stg: &Stg, sg: &StateGraph) -> Vec<CscConflict> {
+    let non_inputs: Vec<SignalId> = stg
+        .signal_ids()
+        .filter(|&s| stg.signal(s).kind != SignalKind::Input)
+        .collect();
+    let mut conflicts = Vec::new();
+    let mut by_code: HashMap<u64, Vec<SgStateId>> = sg.states_by_code();
+    let mut codes: Vec<u64> = by_code.keys().copied().collect();
+    codes.sort_unstable();
+    for code in codes {
+        let states = by_code.remove(&code).expect("key from map");
+        if states.len() < 2 {
+            continue;
+        }
+        for i in 0..states.len() {
+            for j in (i + 1)..states.len() {
+                let (x, y) = (states[i], states[j]);
+                let signals: Vec<SignalId> = non_inputs
+                    .iter()
+                    .copied()
+                    .filter(|&sig| sg.is_excited(stg, x, sig) != sg.is_excited(stg, y, sig))
+                    .collect();
+                conflicts.push(CscConflict {
+                    first: x,
+                    second: y,
+                    code,
+                    signals,
+                });
+            }
+        }
+    }
+    conflicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StgBuilder;
+
+    fn handshake() -> Stg {
+        let mut b = StgBuilder::new("hs");
+        let req = b.input("req", false);
+        let ack = b.output("ack", false);
+        let rp = b.rise(req);
+        let ap = b.rise(ack);
+        let rm = b.fall(req);
+        let am = b.fall(ack);
+        b.connect_marked(am, rp);
+        b.connect(rp, ap);
+        b.connect(ap, rm);
+        b.connect(rm, am);
+        b.build()
+    }
+
+    #[test]
+    fn clean_handshake() {
+        let stg = handshake();
+        let sg = stg.state_graph(100).unwrap();
+        let report = stg.verify(&sg);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert!(report.summary().contains("clean"));
+    }
+
+    #[test]
+    fn deadlock_reported() {
+        let mut b = StgBuilder::new("dl");
+        let a = b.input("a", false);
+        let o = b.output("o", false);
+        let ap = b.rise(a);
+        let op = b.rise(o);
+        let p = b.place_with_tokens("start", 1);
+        b.arc_pt(p, ap);
+        b.connect(ap, op);
+        let stg = b.build();
+        let sg = stg.state_graph(100).unwrap();
+        let report = stg.verify(&sg);
+        assert_eq!(report.deadlocks.len(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn input_choice_is_not_a_violation() {
+        // Free choice between two *input* edges: allowed.
+        let mut b = StgBuilder::new("choice");
+        let a = b.input("a", false);
+        let c = b.input("c", false);
+        let ap = b.rise(a);
+        let cp = b.rise(c);
+        let p = b.place_with_tokens("choice", 1);
+        b.arc_pt(p, ap);
+        b.arc_pt(p, cp);
+        let stg = b.build();
+        let sg = stg.state_graph(100).unwrap();
+        let report = stg.verify(&sg);
+        assert!(report.persistence.is_empty());
+    }
+
+    #[test]
+    fn output_disabled_by_input_is_a_violation() {
+        // Output o+ competes with input a+ for the same token: firing a+
+        // disables o+ -> not output-persistent.
+        let mut b = StgBuilder::new("viol");
+        let a = b.input("a", false);
+        let o = b.output("o", false);
+        let ap = b.rise(a);
+        let op = b.rise(o);
+        let p = b.place_with_tokens("choice", 1);
+        b.arc_pt(p, ap);
+        b.arc_pt(p, op);
+        let stg = b.build();
+        let sg = stg.state_graph(100).unwrap();
+        let report = stg.verify(&sg);
+        assert_eq!(report.persistence.len(), 1);
+        let v = &report.persistence[0];
+        assert_eq!(v.by, "a+");
+        assert_eq!(v.disabled.signal, o);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn csc_conflict_detected() {
+        // Classic CSC problem: a+ -> a- -> b+ -> b- with b output.
+        // After a+/a- the code returns to 00 but b+ must now fire:
+        // two states with code 00 and different excitation of b.
+        let mut b = StgBuilder::new("csc");
+        let a = b.input("a", false);
+        let o = b.output("b", false);
+        let ap = b.rise(a);
+        let am = b.fall(a);
+        let bp = b.rise(o);
+        let bm = b.fall(o);
+        b.connect_marked(bm, ap);
+        b.connect(ap, am);
+        b.connect(am, bp);
+        b.connect(bp, bm);
+        let stg = b.build();
+        let sg = stg.state_graph(100).unwrap();
+        let report = stg.verify(&sg);
+        let csc = report.csc_conflicts();
+        assert_eq!(csc.len(), 1);
+        assert_eq!(csc[0].code, 0b00);
+        assert_eq!(csc[0].signals, vec![o]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn usc_only_conflict_is_benign() {
+        // Dummy in the middle duplicates a code without changing
+        // excitation of any non-input signal: USC conflict only...
+        // Here after o+ the dummy fires, then o- : state after o+ and
+        // after dummy both have code 1 and both excite o- ... they have
+        // the same excitation, so it's USC-only? Both states excite o
+        // (falling) — wait, state after o+ enables dummy only. So the
+        // excitation of o differs and it IS a CSC conflict. Build a case
+        // where the dummy does not affect outputs: two inputs around it.
+        let mut b = StgBuilder::new("usc");
+        let a = b.input("a", false);
+        let c = b.input("c", false);
+        let ap = b.rise(a);
+        let am = b.fall(a);
+        let d = b.dummy();
+        let cp = b.rise(c);
+        let cm = b.fall(c);
+        b.connect_marked(cm, ap);
+        b.connect(ap, am);
+        b.connect(am, d);
+        b.connect(d, cp);
+        b.connect(cp, cm);
+        let stg = b.build();
+        let sg = stg.state_graph(100).unwrap();
+        let report = stg.verify(&sg);
+        assert!(report.coding.iter().any(|x| !x.is_csc()));
+        assert!(report.is_clean(), "no outputs -> nothing to synthesise");
+    }
+
+    #[test]
+    fn mutual_exclusion_check() {
+        let mut b = StgBuilder::new("mx");
+        let gp = b.output("gp", false);
+        let gn = b.output("gn", true);
+        let gnm = b.fall(gn);
+        let gpp = b.rise(gp);
+        let gpm = b.fall(gp);
+        let gnp = b.rise(gn);
+        b.connect_marked(gnp, gnm);
+        b.connect(gnm, gpp);
+        b.connect(gpp, gpm);
+        b.connect(gpm, gnp);
+        let stg = b.build();
+        let sg = stg.state_graph(100).unwrap();
+        assert!(stg.check_mutual_exclusion(&sg, gp, gn).is_empty());
+    }
+
+    #[test]
+    fn mutual_exclusion_violation_found() {
+        let mut b = StgBuilder::new("mx_bad");
+        let gp = b.output("gp", false);
+        let gn = b.output("gn", true);
+        // gp+ fires while gn is still high.
+        let gpp = b.rise(gp);
+        let gpm = b.fall(gp);
+        b.connect_marked(gpm, gpp);
+        b.connect(gpp, gpm);
+        let stg = b.build();
+        let sg = stg.state_graph(100).unwrap();
+        let bad = stg.check_mutual_exclusion(&sg, gp, gn);
+        assert_eq!(bad.len(), 1, "the state after gp+ has both high");
+    }
+}

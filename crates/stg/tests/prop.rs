@@ -1,0 +1,105 @@
+//! Property-based tests: random handshake-pipeline STGs stay clean
+//! through every transformation the crate offers.
+
+use a4a_stg::prop_support::{pipeline_stg, pipeline_stg_with_prefix};
+use a4a_stg::{SignalKind, Stg};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pipelines are consistent, deadlock-free and persistent for any
+    /// output assignment.
+    #[test]
+    fn pipelines_verify_clean(n in 1usize..8, mask in any::<u64>()) {
+        let stg = pipeline_stg(n, mask);
+        let sg = stg.state_graph(1_000_000).unwrap();
+        prop_assert_eq!(sg.state_count(), 2 * n);
+        let report = stg.verify(&sg);
+        prop_assert!(report.deadlocks.is_empty());
+        prop_assert!(report.persistence.is_empty());
+    }
+
+    /// `.g` round trips preserve the state graph exactly.
+    #[test]
+    fn g_round_trip_preserves_behaviour(n in 1usize..8, mask in any::<u64>()) {
+        let stg = pipeline_stg(n, mask);
+        let text = stg.to_g();
+        let back = Stg::parse_g(&text).unwrap();
+        let sg1 = stg.state_graph(1_000_000).unwrap();
+        let sg2 = back.state_graph(1_000_000).unwrap();
+        prop_assert_eq!(sg1.state_count(), sg2.state_count());
+        prop_assert_eq!(sg1.edge_count(), sg2.edge_count());
+        prop_assert_eq!(back.signal_count(), stg.signal_count());
+        // Initial values inferred from the text agree with the original.
+        for (a, b) in stg.signals().iter().zip(back.signals()) {
+            prop_assert_eq!(a.initial, b.initial, "signal {}", &a.name);
+        }
+    }
+
+    /// A second round trip is a fixed point (normal form).
+    #[test]
+    fn g_format_reaches_fixed_point(n in 1usize..6, mask in any::<u64>()) {
+        let stg = pipeline_stg(n, mask);
+        let once = Stg::parse_g(&stg.to_g()).unwrap();
+        let twice = Stg::parse_g(&once.to_g()).unwrap();
+        prop_assert_eq!(once.to_g(), twice.to_g());
+    }
+
+    /// Composing two disjoint pipelines multiplies their state spaces.
+    #[test]
+    fn disjoint_composition_multiplies(na in 1usize..5, nb in 1usize..5) {
+        let a = pipeline_stg(na, u64::MAX);
+        let b = pipeline_stg_with_prefix(nb, u64::MAX, "t");
+        let c = a.compose(&b).unwrap();
+        let sg = c.state_graph(1_000_000).unwrap();
+        prop_assert_eq!(sg.state_count(), (2 * na) * (2 * nb));
+    }
+
+    /// Hiding any output keeps the state graph size and the checks
+    /// clean.
+    #[test]
+    fn hide_preserves_behaviour(n in 2usize..7) {
+        let stg = pipeline_stg(n, u64::MAX);
+        let out = stg
+            .signal_ids()
+            .find(|&s| stg.signal(s).kind == SignalKind::Output);
+        prop_assume!(out.is_some());
+        let hidden = stg.hide(out.unwrap());
+        let sg = hidden.state_graph(1_000_000).unwrap();
+        prop_assert_eq!(sg.state_count(), 2 * n);
+        prop_assert!(hidden.verify(&sg).persistence.is_empty());
+    }
+
+    /// The parser is total: arbitrary input either parses or returns an
+    /// error — it never panics.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,300}") {
+        let _ = Stg::parse_g(&text);
+    }
+
+    /// Structured fuzz: valid-looking directives with junk bodies also
+    /// never panic.
+    #[test]
+    fn parser_never_panics_structured(
+        tokens in proptest::collection::vec("[a-c+/<>,{}.-]{1,6}", 0..40),
+    ) {
+        let mut text = String::from(".model f\n.inputs a b\n.outputs c\n.graph\n");
+        for chunk in tokens.chunks(3) {
+            text.push_str(&chunk.join(" "));
+            text.push('\n');
+        }
+        text.push_str(".marking { }\n.end\n");
+        let _ = Stg::parse_g(&text);
+    }
+
+    /// DOT output mentions every transition exactly once as a node
+    /// label.
+    #[test]
+    fn dot_mentions_all_transitions(n in 1usize..6, mask in any::<u64>()) {
+        let stg = pipeline_stg(n, mask);
+        let dot = stg.to_dot();
+        for t in stg.net().transition_ids() {
+            let name = stg.transition_name(t);
+            prop_assert!(dot.contains(&name), "missing {}", name);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Next-state function extraction from a binary-encoded state graph.
+
+use std::collections::BTreeMap;
+
+use a4a_stg::{SignalId, StateGraph, Stg};
+
+/// Classification of a reachable code with respect to one signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Signal is 0 and not excited: stays 0.
+    Stable0,
+    /// Signal is 0 and excited: the rising excitation region, next
+    /// value 1.
+    ExcitedRise,
+    /// Signal is 1 and not excited: stays 1.
+    Stable1,
+    /// Signal is 1 and excited: the falling excitation region, next
+    /// value 0.
+    ExcitedFall,
+}
+
+impl Region {
+    /// The signal's next value in this region.
+    pub fn next_value(self) -> bool {
+        matches!(self, Region::ExcitedRise | Region::Stable1)
+    }
+}
+
+/// The extracted next-state function of one signal: every reachable code
+/// classified into a [`Region`]. Codes not present are unreachable
+/// don't-cares.
+#[derive(Debug, Clone)]
+pub struct NextState {
+    /// The signal this function implements.
+    pub signal: SignalId,
+    /// Region per reachable code (BTreeMap for deterministic iteration).
+    pub regions: BTreeMap<u64, Region>,
+}
+
+impl NextState {
+    /// Codes whose next value is 1 (the ON-set).
+    pub fn on_set(&self) -> Vec<u64> {
+        self.regions
+            .iter()
+            .filter(|(_, r)| r.next_value())
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Codes whose next value is 0 (the OFF-set).
+    pub fn off_set(&self) -> Vec<u64> {
+        self.regions
+            .iter()
+            .filter(|(_, r)| !r.next_value())
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Codes in the given region.
+    pub fn region_codes(&self, region: Region) -> Vec<u64> {
+        self.regions
+            .iter()
+            .filter(|(_, &r)| r == region)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+}
+
+/// Extracts the next-state function of `signal` from the state graph.
+///
+/// Returns `None` when two states share a code but disagree on the
+/// signal's region — a CSC conflict for this signal (the caller reports
+/// it with full detail via [`a4a_stg::verify`]).
+///
+/// [`a4a_stg::verify`]: a4a_stg::Stg::verify
+pub fn extract_next_state(stg: &Stg, sg: &StateGraph, signal: SignalId) -> Option<NextState> {
+    let mut regions: BTreeMap<u64, Region> = BTreeMap::new();
+    for s in sg.state_ids() {
+        let code = sg.code(s);
+        let value = sg.value(s, signal);
+        let excited = sg.is_excited(stg, s, signal);
+        let region = match (value, excited) {
+            (false, false) => Region::Stable0,
+            (false, true) => Region::ExcitedRise,
+            (true, false) => Region::Stable1,
+            (true, true) => Region::ExcitedFall,
+        };
+        match regions.get(&code) {
+            None => {
+                regions.insert(code, region);
+            }
+            Some(&prev) if prev == region => {}
+            Some(_) => return None, // CSC conflict on this signal
+        }
+    }
+    Some(NextState { signal, regions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4a_stg::StgBuilder;
+
+    fn handshake() -> Stg {
+        let mut b = StgBuilder::new("hs");
+        let req = b.input("req", false);
+        let ack = b.output("ack", false);
+        let rp = b.rise(req);
+        let ap = b.rise(ack);
+        let rm = b.fall(req);
+        let am = b.fall(ack);
+        b.connect_marked(am, rp);
+        b.connect(rp, ap);
+        b.connect(ap, rm);
+        b.connect(rm, am);
+        b.build()
+    }
+
+    #[test]
+    fn handshake_ack_regions() {
+        let stg = handshake();
+        let sg = stg.state_graph(100).unwrap();
+        let ack = stg.signal_by_name("ack").unwrap();
+        let ns = extract_next_state(&stg, &sg, ack).expect("CSC holds");
+        // Codes (bit0=req, bit1=ack): 00 stable0, 01 excited-rise,
+        // 11 stable1, 10 excited-fall.
+        assert_eq!(ns.regions[&0b00], Region::Stable0);
+        assert_eq!(ns.regions[&0b01], Region::ExcitedRise);
+        assert_eq!(ns.regions[&0b11], Region::Stable1);
+        assert_eq!(ns.regions[&0b10], Region::ExcitedFall);
+        assert_eq!(ns.on_set(), vec![0b01, 0b11]);
+        assert_eq!(ns.off_set(), vec![0b00, 0b10]);
+        assert_eq!(ns.region_codes(Region::ExcitedRise), vec![0b01]);
+    }
+
+    #[test]
+    fn csc_conflict_yields_none() {
+        // a+ a- b+ b- loop: code 00 occurs twice with different b
+        // excitation.
+        let mut bld = StgBuilder::new("csc");
+        let a = bld.input("a", false);
+        let b = bld.output("b", false);
+        let ap = bld.rise(a);
+        let am = bld.fall(a);
+        let bp = bld.rise(b);
+        let bm = bld.fall(b);
+        bld.connect_marked(bm, ap);
+        bld.connect(ap, am);
+        bld.connect(am, bp);
+        bld.connect(bp, bm);
+        let stg = bld.build();
+        let sg = stg.state_graph(100).unwrap();
+        assert!(extract_next_state(&stg, &sg, b).is_none());
+    }
+
+    #[test]
+    fn region_next_values() {
+        assert!(!Region::Stable0.next_value());
+        assert!(Region::ExcitedRise.next_value());
+        assert!(Region::Stable1.next_value());
+        assert!(!Region::ExcitedFall.next_value());
+    }
+}

@@ -1,0 +1,40 @@
+//! The Figure 7 trade-off in miniature: because the asynchronous
+//! controller reacts faster, it keeps the inductor peak current bounded
+//! with a *smaller* coil — and smaller coils in the same family have
+//! lower resistance, so the converter also loses less energy.
+//!
+//! Run with `cargo run --release --example coil_tradeoff`.
+
+use a4a::scenario::{self, ControllerKind};
+use a4a_analog::{metrics, CoilModel};
+
+fn main() {
+    let coils = [1.0, 1.8, 4.7, 10.0];
+    println!(
+        "{:>7} {:>10} {:>14} {:>14} {:>12}",
+        "L (uH)", "DCR (mOhm)", "sync peak (mA)", "async peak(mA)", "async better"
+    );
+    for l in coils {
+        let coil = CoilModel::coilcraft(l);
+        let mut peaks = Vec::new();
+        for kind in [ControllerKind::Sync(100.0), ControllerKind::Async] {
+            let ctrl = scenario::controller(kind, 4);
+            let mut tb = scenario::sweep_coil(l, 6.0).build(ctrl);
+            tb.run_until(8e-6);
+            peaks.push(metrics::peak_current(tb.waveform()) * 1e3);
+        }
+        println!(
+            "{:>7.2} {:>10.0} {:>14.0} {:>14.0} {:>11.0}mA",
+            l,
+            coil.dcr * 1e3,
+            peaks[0],
+            peaks[1],
+            peaks[0] - peaks[1]
+        );
+    }
+    println!(
+        "\nWith a peak-current budget, the async controller qualifies a smaller\n\
+         coil than the 100 MHz synchronous design; the smaller coil's lower DCR\n\
+         and high-frequency ESR then buy back conduction losses (Figure 7c)."
+    );
+}

@@ -1,0 +1,30 @@
+# Gnuplot script regenerating the paper-style figures from the CSVs in
+# this directory (run the a4a-bench binaries first):
+#   gnuplot -persist plot.gp
+set datafile separator ','
+set key top right
+
+set terminal pngcairo size 900,600
+set output 'fig7a.png'
+set title 'Figure 7a: inductor peak current vs coil inductance (6 Ohm load)'
+set xlabel 'Coil inductance (uH)'
+set ylabel 'Inductor peak current (mA)'
+plot for [i=2:6] 'fig7a.csv' using 1:i with linespoints title columnheader(i)
+
+set output 'fig7b.png'
+set title 'Figure 7b: inductor peak current vs load (4.7 uH coil)'
+set xlabel 'Load resistance (Ohm)'
+plot for [i=2:6] 'fig7b.csv' using 1:i with linespoints title columnheader(i)
+
+set output 'fig7c.png'
+set title 'Figure 7c: inductor ripple losses vs coil inductance (6 Ohm load)'
+set xlabel 'Coil inductance (uH)'
+set ylabel 'Inductor losses (uW)'
+plot for [i=2:6] 'fig7c.csv' using 1:i with linespoints title columnheader(i)
+
+set output 'fig6.png'
+set title 'Figure 6: output voltage waveforms'
+set xlabel 'time (us)'
+set ylabel 'V_load (V)'
+plot 'fig6_333mhz_analog.csv' using ($1*1e6):2 with lines title '333MHz', \
+     'fig6_async_analog.csv'  using ($1*1e6):2 with lines title 'ASYNC'

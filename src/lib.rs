@@ -1,0 +1,6 @@
+//! Umbrella crate for the A4A multiphase-buck reproduction.
+//!
+//! Everything is re-exported from the [`a4a`] flow crate; see the README
+//! and the `examples/` directory for entry points.
+
+pub use a4a::*;

@@ -1,0 +1,86 @@
+//! Reproducibility across crates: identical runs produce identical
+//! artefacts — the property every regenerated table and figure relies
+//! on.
+
+use a4a::scenario::{self, ControllerKind};
+use a4a::A4aFlow;
+use a4a_synth::{synthesize, SynthOptions, SynthStyle};
+
+#[test]
+fn cosim_runs_are_bit_identical() {
+    let run = || {
+        let ctrl = scenario::controller(ControllerKind::Async, 4);
+        let mut tb = scenario::fig6().build(ctrl);
+        tb.run_until(4e-6);
+        tb.into_waveform()
+    };
+    let w1 = run();
+    let w2 = run();
+    assert_eq!(w1.t, w2.t);
+    assert_eq!(w1.v, w2.v);
+    assert_eq!(w1.i, w2.i);
+    assert_eq!(w1.events, w2.events);
+}
+
+#[test]
+fn sync_cosim_runs_are_bit_identical() {
+    let run = || {
+        let ctrl = scenario::controller(ControllerKind::Sync(333.0), 4);
+        let mut tb = scenario::fig6().build(ctrl);
+        tb.run_until(3e-6);
+        tb.into_waveform()
+    };
+    let w1 = run();
+    let w2 = run();
+    assert_eq!(w1.v, w2.v);
+    assert_eq!(w1.events, w2.events);
+}
+
+#[test]
+fn synthesis_is_deterministic() {
+    for (name, stg) in a4a_ctrl::stgs::all_module_stgs() {
+        for style in [SynthStyle::ComplexGate, SynthStyle::GeneralizedC] {
+            let a = synthesize(&stg, &SynthOptions::new(style)).unwrap();
+            let b = synthesize(&stg, &SynthOptions::new(style)).unwrap();
+            assert_eq!(
+                a.equations(&stg),
+                b.equations(&stg),
+                "{name} {style:?} not deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_artifacts_are_deterministic() {
+    let stg = a4a_ctrl::stgs::basic_buck_stg();
+    let a = A4aFlow::new(stg.clone()).run().unwrap();
+    let b = A4aFlow::new(stg).run().unwrap();
+    assert_eq!(a.verilog, b.verilog);
+    assert_eq!(a.g_format, b.g_format);
+    assert_eq!(a.equations, b.equations);
+}
+
+#[test]
+fn waveform_records_debug_tracks() {
+    // The async controller exposes `get & !pass`; the sync controller
+    // exposes `act`. Both must show up in the recorded events.
+    let ctrl = scenario::controller(ControllerKind::Async, 4);
+    let mut tb = scenario::fig6().build(ctrl);
+    tb.run_until(2e-6);
+    assert!(
+        tb.waveform()
+            .events
+            .iter()
+            .any(|(_, n, _)| n == "get & !pass"),
+        "async token track missing"
+    );
+
+    let ctrl = scenario::controller(ControllerKind::Sync(333.0), 4);
+    let mut tb = scenario::fig6().build(ctrl);
+    tb.run_until(2e-6);
+    assert!(
+        tb.waveform().events.iter().any(|(_, n, _)| n == "act"),
+        "sync activation track missing"
+    );
+}
