@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Hermetic CI for the buck-a4a workspace.
+#
+# The build environment has no crates.io access, and determinism of the
+# seeded experiments depends on every dependency living in-tree. This
+# script is the tier-1 verify plus a guard that keeps it that way:
+#
+#   1. cold-cache offline release build
+#   2. offline test run (root package tier-1, then the whole workspace)
+#   3. fail if any Cargo.toml re-introduces a registry (non-path) dependency
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (tier-1: root package)"
+cargo test -q --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> checking for registry dependencies"
+# Every [dependencies*] / [dev-dependencies] entry must be either an
+# in-workspace path/workspace reference or a section header. A version
+# requirement string ("crate = \"1.2\"" or { version = ... }) means a
+# registry dependency sneaked back in.
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Extract dependency table bodies, drop blanks/comments, then flag
+    # any entry that is neither `path = ...` nor `.workspace = true`.
+    offenders=$(awk '
+        /^\[/ { in_dep = ($0 ~ /dependencies/) ; next }
+        in_dep && NF && $0 !~ /^#/ \
+               && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/ \
+               && $0 !~ /path[[:space:]]*=/ { print }
+    ' "$manifest")
+    if [ -n "$offenders" ]; then
+        echo "ERROR: registry dependency in $manifest:" >&2
+        echo "$offenders" | sed 's/^/    /' >&2
+        bad=1
+    fi
+done
+# Belt and braces: the three crates this repo explicitly removed must
+# never reappear in any manifest.
+if grep -nE '^[[:space:]]*(rand|proptest|criterion)[[:space:]]*=' \
+        Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: banned registry crate referenced above" >&2
+    bad=1
+fi
+if [ "$bad" -ne 0 ]; then
+    exit 1
+fi
+echo "OK: hermetic (no registry dependencies)"

@@ -2,8 +2,9 @@
 //! under arbitrary (monotone-timed) input sequences.
 
 use a4a_a2a::{HandshakeMonitor, RWait, Wait, Wait2, WaitX};
+use a4a_rt::prop::{self, Gen, PropResult};
+use a4a_rt::{prop_assert, prop_assert_eq};
 use a4a_sim::Time;
-use proptest::prelude::*;
 
 /// A random interleaving of sig/req toggles at increasing times.
 #[derive(Debug, Clone, Copy)]
@@ -14,38 +15,35 @@ enum Stimulus {
     Poll,
 }
 
-fn arb_stimuli(len: usize) -> impl Strategy<Value = Vec<(u64, Stimulus)>> {
-    proptest::collection::vec(
-        (
-            1u64..50,
-            prop_oneof![
-                any::<bool>().prop_map(Stimulus::Sig),
-                any::<bool>().prop_map(Stimulus::Req),
-                Just(Stimulus::Cancel),
-                Just(Stimulus::Poll),
-            ],
-        ),
-        1..len,
-    )
-    .prop_map(|steps| {
-        // Convert deltas to absolute, strictly increasing times.
-        let mut t = 0u64;
-        steps
-            .into_iter()
-            .map(|(dt, s)| {
-                t += dt;
-                (t, s)
-            })
-            .collect()
-    })
+fn arb_stimuli(g: &mut Gen, len: usize) -> Vec<(u64, Stimulus)> {
+    let steps = g.vec(1..len, |g| {
+        let dt = g.u64(1..50);
+        let s = match g.choice(4) {
+            0 => Stimulus::Sig(g.bool()),
+            1 => Stimulus::Req(g.bool()),
+            2 => Stimulus::Cancel,
+            _ => Stimulus::Poll,
+        };
+        (dt, s)
+    });
+    // Convert deltas to absolute, strictly increasing times.
+    let mut t = 0u64;
+    steps
+        .into_iter()
+        .map(|(dt, s)| {
+            t += dt;
+            (t, s)
+        })
+        .collect()
 }
 
-proptest! {
-    /// WAIT never acknowledges without an active request, and its output
-    /// sequence is always a legal 4-phase handshake against the request
-    /// stream it actually saw.
-    #[test]
-    fn wait_protocol_compliance(stimuli in arb_stimuli(60)) {
+/// WAIT never acknowledges without an active request, and its output
+/// sequence is always a legal 4-phase handshake against the request
+/// stream it actually saw.
+#[test]
+fn wait_protocol_compliance() {
+    prop::check("wait_protocol_compliance", |g: &mut Gen| -> PropResult {
+        let stimuli = arb_stimuli(g, 60);
         let mut w = Wait::new(Time::from_ns(0.5));
         let mut monitor = HandshakeMonitor::new("wait");
         let mut req = false;
@@ -90,11 +88,15 @@ proptest! {
                 prop_assert!(monitor.ack_level());
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// RWAIT after a cancel stays silent until re-armed.
-    #[test]
-    fn rwait_cancel_is_persistent(pulses in proptest::collection::vec(1u64..20, 1..20)) {
+/// RWAIT after a cancel stays silent until re-armed.
+#[test]
+fn rwait_cancel_is_persistent() {
+    prop::check("rwait_cancel_is_persistent", |g: &mut Gen| -> PropResult {
+        let pulses = g.vec(1..20, |g| g.u64(1..20));
         let mut w = RWait::new(Time::from_ns(0.5));
         w.set_req(Time::from_ns(1.0), true);
         w.cancel(Time::from_ns(2.0));
@@ -107,12 +109,17 @@ proptest! {
             w.set_sig(t, false);
         }
         prop_assert!(!w.ack());
-    }
+        Ok(())
+    });
+}
 
-    /// WAITX grants are always mutually exclusive and only under an
-    /// active request.
-    #[test]
-    fn waitx_mutual_exclusion(stimuli in arb_stimuli(80), channel_bits in any::<u64>()) {
+/// WAITX grants are always mutually exclusive and only under an
+/// active request.
+#[test]
+fn waitx_mutual_exclusion() {
+    prop::check("waitx_mutual_exclusion", |g: &mut Gen| -> PropResult {
+        let stimuli = arb_stimuli(g, 80);
+        let channel_bits = g.any_u64();
         let mut x = WaitX::new(Time::from_ns(0.4));
         let mut req = false;
         for (i, (t_ns, s)) in stimuli.into_iter().enumerate() {
@@ -148,12 +155,17 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// WAIT2 acknowledges at most once per request phase, and the ack
-    /// only falls after the input has been seen low.
-    #[test]
-    fn wait2_full_cycle_discipline(cycles in 1usize..10, gap in 1u64..10) {
+/// WAIT2 acknowledges at most once per request phase, and the ack
+/// only falls after the input has been seen low.
+#[test]
+fn wait2_full_cycle_discipline() {
+    prop::check("wait2_full_cycle_discipline", |g: &mut Gen| -> PropResult {
+        let cycles = g.usize(1..10);
+        let gap = g.u64(1..10);
         let mut w = Wait2::new(Time::from_ns(0.3));
         let mut t = Time::ZERO;
         let step = |t: &mut Time, d: f64| {
@@ -174,5 +186,6 @@ proptest! {
             let ev = w.poll(step(&mut t, 1.0)).expect("released low");
             prop_assert!(!ev.value);
         }
-    }
+        Ok(())
+    });
 }

@@ -2,35 +2,27 @@
 //! switch schedules, and the comparators never miss or invent crossings.
 
 use a4a_analog::{Buck, BuckParams, CoilModel, Comparator, SwitchState};
-use proptest::prelude::*;
+use a4a_rt::prop::{self, Config, Gen, PropResult};
+use a4a_rt::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
 
 /// A random per-phase switch schedule: (step index, phase, state).
-fn arb_schedule(
-    phases: usize,
-    len: usize,
-) -> impl Strategy<Value = Vec<(usize, usize, SwitchState)>> {
-    proptest::collection::vec(
+fn arb_schedule(g: &mut Gen, phases: usize, len: usize) -> Vec<(usize, usize, SwitchState)> {
+    g.vec(0..len, |g| {
         (
-            0usize..2000,
-            0..phases,
-            prop_oneof![
-                Just(SwitchState::PmosOn),
-                Just(SwitchState::NmosOn),
-                Just(SwitchState::Off),
-            ],
-        ),
-        0..len,
-    )
+            g.usize(0..2000),
+            g.usize(0..phases),
+            *g.pick(&[SwitchState::PmosOn, SwitchState::NmosOn, SwitchState::Off]),
+        )
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Under any legal switching schedule the state stays bounded and
-    /// finite: |i| below a physical ceiling, v within diode-clamped
-    /// rails, and no NaNs.
-    #[test]
-    fn buck_stays_physical(schedule in arb_schedule(2, 40)) {
+/// Under any legal switching schedule the state stays bounded and
+/// finite: |i| below a physical ceiling, v within diode-clamped
+/// rails, and no NaNs.
+#[test]
+fn buck_stays_physical() {
+    prop::check_with(&Config::with_cases(48), "buck_stays_physical", |g: &mut Gen| -> PropResult {
+        let schedule = arb_schedule(g, 2, 40);
         let params = BuckParams::default().with_phases(2);
         let vin = params.vin;
         let mut buck = Buck::new(params);
@@ -58,12 +50,16 @@ proptest! {
             prop_assert!(v.is_finite());
             prop_assert!(v > -2.0 && v < vin + 2.0, "rail escape {v}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// With both switches off the coil current never crosses zero
-    /// (discontinuous conduction clamp), from any pre-charge.
-    #[test]
-    fn dcm_never_reverses(precharge_steps in 10usize..2000) {
+/// With both switches off the coil current never crosses zero
+/// (discontinuous conduction clamp), from any pre-charge.
+#[test]
+fn dcm_never_reverses() {
+    prop::check_with(&Config::with_cases(48), "dcm_never_reverses", |g: &mut Gen| -> PropResult {
+        let precharge_steps = g.usize(10..2000);
         let mut buck = Buck::new(BuckParams::default().with_phases(1));
         buck.set_switch(0, true, false);
         for _ in 0..precharge_steps {
@@ -76,12 +72,17 @@ proptest! {
             let i = buck.coil_current(0);
             prop_assert!(i == 0.0 || i.signum() == sign, "current reversed in DCM");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// RK2 is step-size robust: halving dt changes the trajectory only
-    /// slightly for a smooth (fixed-switch) segment.
-    #[test]
-    fn integration_step_robust(l_uh in 1.0f64..10.0, steps in 100usize..1000) {
+/// RK2 is step-size robust: halving dt changes the trajectory only
+/// slightly for a smooth (fixed-switch) segment.
+#[test]
+fn integration_step_robust() {
+    prop::check_with(&Config::with_cases(48), "integration_step_robust", |g: &mut Gen| -> PropResult {
+        let l_uh = g.f64(1.0..10.0);
+        let steps = g.usize(100..1000);
         let run = |dt: f64, n: usize| -> (f64, f64) {
             let mut b = Buck::new(
                 BuckParams::default()
@@ -98,13 +99,17 @@ proptest! {
         let (v2, i2) = run(0.5e-9, steps * 2);
         prop_assert!((v1 - v2).abs() < 0.02, "{v1} vs {v2}");
         prop_assert!((i1 - i2).abs() < 0.02, "{i1} vs {i2}");
-    }
+        Ok(())
+    });
+}
 
-    /// A comparator fed a piecewise-linear trace produces alternating
-    /// edges whose times are strictly increasing and sit within the
-    /// segment that crossed (plus delay).
-    #[test]
-    fn comparator_edges_alternate(values in proptest::collection::vec(-1.0f64..1.0, 2..60)) {
+/// A comparator fed a piecewise-linear trace produces alternating
+/// edges whose times are strictly increasing and sit within the
+/// segment that crossed (plus delay).
+#[test]
+fn comparator_edges_alternate() {
+    prop::check_with(&Config::with_cases(48), "comparator_edges_alternate", |g: &mut Gen| -> PropResult {
+        let values = g.vec(2..60, |g| g.f64(-1.0..1.0));
         let mut c = Comparator::above(0.0, 0.1, 1e-9);
         let mut last_state = false;
         let mut last_time = f64::NEG_INFINITY;
@@ -121,16 +126,22 @@ proptest! {
             prop_assert_eq!(c.output(), last_state);
             prev = (t, x);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Coil family interpolation is monotone in inductance.
-    #[test]
-    fn coil_family_monotone(a in 1.0f64..10.0, b in 1.0f64..10.0) {
+/// Coil family interpolation is monotone in inductance.
+#[test]
+fn coil_family_monotone() {
+    prop::check_with(&Config::with_cases(48), "coil_family_monotone", |g: &mut Gen| -> PropResult {
+        let a = g.f64(1.0..10.0);
+        let b = g.f64(1.0..10.0);
         prop_assume!(a < b);
         let ca = CoilModel::coilcraft(a);
         let cb = CoilModel::coilcraft(b);
         prop_assert!(ca.inductance < cb.inductance);
         prop_assert!(ca.dcr <= cb.dcr);
         prop_assert!(ca.esr_hf <= cb.esr_hf);
-    }
+        Ok(())
+    });
 }

@@ -2,7 +2,8 @@
 //! exact, cube algebra obeys its laws.
 
 use a4a_boolmin::{minimize, Cube, Expr, Minimize};
-use proptest::prelude::*;
+use a4a_rt::prop::{self, Gen, PropResult};
+use a4a_rt::{prop_assert, prop_assert_eq};
 
 /// Random partition of the 2^n minterm space into ON / OFF / DC.
 fn partition(nvars: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
@@ -22,11 +23,13 @@ fn partition(nvars: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
     (on, off)
 }
 
-proptest! {
-    /// The minimised cover is 1 on every ON minterm and 0 on every OFF
-    /// minterm, for arbitrary incompletely-specified functions.
-    #[test]
-    fn qm_is_exact(nvars in 1usize..7, seed in any::<u64>()) {
+/// The minimised cover is 1 on every ON minterm and 0 on every OFF
+/// minterm, for arbitrary incompletely-specified functions.
+#[test]
+fn qm_is_exact() {
+    prop::check("qm_is_exact", |g: &mut Gen| -> PropResult {
+        let nvars = g.usize(1..7);
+        let seed = g.any_u64();
         let (on, off) = partition(nvars, seed);
         let cover = minimize(&Minimize::new(nvars).on(&on).off(&off)).unwrap();
         prop_assert_eq!(cover.check(&on, &off), None);
@@ -35,12 +38,17 @@ proptest! {
         for m in 0..(1u64 << nvars) {
             prop_assert_eq!(expr.eval(m), cover.eval(m));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every cube of the result is an implicant of ON ∪ DC (never covers
-    /// an OFF minterm).
-    #[test]
-    fn qm_cubes_avoid_off(nvars in 1usize..7, seed in any::<u64>()) {
+/// Every cube of the result is an implicant of ON ∪ DC (never covers
+/// an OFF minterm).
+#[test]
+fn qm_cubes_avoid_off() {
+    prop::check("qm_cubes_avoid_off", |g: &mut Gen| -> PropResult {
+        let nvars = g.usize(1..7);
+        let seed = g.any_u64();
         let (on, off) = partition(nvars, seed);
         let cover = minimize(&Minimize::new(nvars).on(&on).off(&off)).unwrap();
         for cube in cover.cubes() {
@@ -48,11 +56,16 @@ proptest! {
                 prop_assert!(!cube.covers_minterm(m));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Merging two cubes yields a cube covering exactly their union.
-    #[test]
-    fn merge_covers_union(nvars in 1usize..6, a in any::<u64>(), b in any::<u64>()) {
+/// Merging two cubes yields a cube covering exactly their union.
+#[test]
+fn merge_covers_union() {
+    prop::check("merge_covers_union", |g: &mut Gen| -> PropResult {
+        let nvars = g.usize(1..6);
+        let (a, b) = (g.any_u64(), g.any_u64());
         let mask = (1u64 << nvars) - 1;
         let (a, b) = (a & mask, b & mask);
         let ca = Cube::minterm(nvars, a);
@@ -66,11 +79,17 @@ proptest! {
             // No merge: the minterms differ in != 1 bit.
             prop_assert!((a ^ b).count_ones() != 1);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Containment is consistent with minterm semantics.
-    #[test]
-    fn containment_semantics(nvars in 1usize..5, a in any::<u64>(), drop in 0usize..5) {
+/// Containment is consistent with minterm semantics.
+#[test]
+fn containment_semantics() {
+    prop::check("containment_semantics", |g: &mut Gen| -> PropResult {
+        let nvars = g.usize(1..5);
+        let a = g.any_u64();
+        let drop = g.usize(0..5);
         let mask = (1u64 << nvars) - 1;
         let small = Cube::minterm(nvars, a & mask);
         let big = small.with_free(drop % nvars);
@@ -80,14 +99,20 @@ proptest! {
                 prop_assert!(big.covers_minterm(m));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// from_cover/literal_count agree between Expr and Cover.
-    #[test]
-    fn expr_matches_cover(nvars in 1usize..6, seed in any::<u64>()) {
+/// from_cover/literal_count agree between Expr and Cover.
+#[test]
+fn expr_matches_cover() {
+    prop::check("expr_matches_cover", |g: &mut Gen| -> PropResult {
+        let nvars = g.usize(1..6);
+        let seed = g.any_u64();
         let (on, off) = partition(nvars, seed);
         let cover = minimize(&Minimize::new(nvars).on(&on).off(&off)).unwrap();
         let expr = Expr::from_cover(&cover);
         prop_assert_eq!(expr.literal_count(), cover.literal_count());
-    }
+        Ok(())
+    });
 }

@@ -6,8 +6,9 @@ use a4a_analog::SensorKind;
 use a4a_ctrl::{
     AsyncController, AsyncTiming, BuckController, Command, SyncController, SyncParams,
 };
+use a4a_rt::prop::{self, Config, Gen, PropResult, TestCaseError};
+use a4a_rt::prop_assert;
 use a4a_sim::Time;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
 enum Fuzz {
@@ -18,30 +19,26 @@ enum Fuzz {
     Zc(usize, bool),
 }
 
-fn arb_events(phases: usize, len: usize) -> impl Strategy<Value = Vec<(u64, Fuzz)>> {
-    proptest::collection::vec(
-        (
-            1u64..400,
-            prop_oneof![
-                any::<bool>().prop_map(Fuzz::Hl),
-                any::<bool>().prop_map(Fuzz::Uv),
-                any::<bool>().prop_map(Fuzz::Ov),
-                (0..phases, any::<bool>()).prop_map(|(k, v)| Fuzz::Oc(k, v)),
-                (0..phases, any::<bool>()).prop_map(|(k, v)| Fuzz::Zc(k, v)),
-            ],
-        ),
-        1..len,
-    )
-    .prop_map(|steps| {
-        let mut t = 10u64;
-        steps
-            .into_iter()
-            .map(|(dt, f)| {
-                t += dt;
-                (t, f)
-            })
-            .collect()
-    })
+fn arb_events(g: &mut Gen, phases: usize, len: usize) -> Vec<(u64, Fuzz)> {
+    let steps = g.vec(1..len, |g| {
+        let dt = g.u64(1..400);
+        let f = match g.choice(5) {
+            0 => Fuzz::Hl(g.bool()),
+            1 => Fuzz::Uv(g.bool()),
+            2 => Fuzz::Ov(g.bool()),
+            3 => Fuzz::Oc(g.usize(0..phases), g.bool()),
+            _ => Fuzz::Zc(g.usize(0..phases), g.bool()),
+        };
+        (dt, f)
+    });
+    let mut t = 10u64;
+    steps
+        .into_iter()
+        .map(|(dt, f)| {
+            t += dt;
+            (t, f)
+        })
+        .collect()
 }
 
 /// Drives a controller with the fuzz stream, acking every gate command,
@@ -139,28 +136,37 @@ fn drive(ctrl: &mut dyn BuckController, events: &[(u64, Fuzz)], phases: usize) -
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// The asynchronous controller never shorts the bridge under any
-    /// sensor fuzz.
-    #[test]
-    fn async_never_shorts(events in arb_events(3, 60)) {
+/// The asynchronous controller never shorts the bridge under any
+/// sensor fuzz.
+#[test]
+fn async_never_shorts() {
+    prop::check_with(&Config::with_cases(40), "async_never_shorts", |g: &mut Gen| -> PropResult {
+        let events = arb_events(g, 3, 60);
         let mut ctrl = AsyncController::new(3, AsyncTiming::default());
         drive(&mut ctrl, &events, 3)?;
-    }
+        Ok(())
+    });
+}
 
-    /// Neither does the synchronous controller, at any clock rate.
-    #[test]
-    fn sync_never_shorts(events in arb_events(3, 60), mhz in 50.0f64..1200.0) {
+/// Neither does the synchronous controller, at any clock rate.
+#[test]
+fn sync_never_shorts() {
+    prop::check_with(&Config::with_cases(40), "sync_never_shorts", |g: &mut Gen| -> PropResult {
+        let events = arb_events(g, 3, 60);
+        let mhz = g.f64(50.0..1200.0);
         let mut ctrl = SyncController::new(3, SyncParams::at_mhz(mhz));
         drive(&mut ctrl, &events, 3)?;
-    }
+        Ok(())
+    });
+}
 
-    /// The basic single-phase controller is safe too.
-    #[test]
-    fn basic_never_shorts(events in arb_events(1, 40)) {
+/// The basic single-phase controller is safe too.
+#[test]
+fn basic_never_shorts() {
+    prop::check_with(&Config::with_cases(40), "basic_never_shorts", |g: &mut Gen| -> PropResult {
+        let events = arb_events(g, 1, 40);
         let mut ctrl = a4a_ctrl::BasicBuckController::new();
         drive(&mut ctrl, &events, 1)?;
-    }
+        Ok(())
+    });
 }

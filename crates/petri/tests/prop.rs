@@ -3,7 +3,8 @@
 //! algebra.
 
 use a4a_petri::{NetBuilder, PetriNet};
-use proptest::prelude::*;
+use a4a_rt::prop::{self, Gen, PropResult};
+use a4a_rt::{prop_assert, prop_assert_eq};
 
 /// A ring of `n` places with `tokens` initial tokens spread from place 0.
 fn ring(n: usize, tokens: u32) -> PetriNet {
@@ -19,24 +20,31 @@ fn ring(n: usize, tokens: u32) -> PetriNet {
     b.build()
 }
 
-proptest! {
-    /// Rings conserve their token count in every reachable marking.
-    #[test]
-    fn ring_conserves_tokens(n in 2usize..7, tokens in 1u32..4) {
+/// Rings conserve their token count in every reachable marking.
+#[test]
+fn ring_conserves_tokens() {
+    prop::check("ring_conserves_tokens", |g: &mut Gen| -> PropResult {
+        let n = g.usize(2..7);
+        let tokens = g.u64(1..4) as u32;
         let net = ring(n, tokens);
-        let g = net.explore(200_000).unwrap();
-        for s in g.state_ids() {
-            prop_assert_eq!(g.marking(s).total_tokens(), u64::from(tokens));
+        let gr = net.explore(200_000).unwrap();
+        for s in gr.state_ids() {
+            prop_assert_eq!(gr.marking(s).total_tokens(), u64::from(tokens));
         }
         // The all-ones weight vector is always an invariant of a ring.
         let ones = vec![1i64; n];
         prop_assert!(net.is_place_invariant(&ones));
         prop_assert!(net.covered_by_invariants());
-    }
+        Ok(())
+    });
+}
 
-    /// Exploration is deterministic: two runs give identical graphs.
-    #[test]
-    fn exploration_deterministic(n in 2usize..6, tokens in 1u32..3) {
+/// Exploration is deterministic: two runs give identical graphs.
+#[test]
+fn exploration_deterministic() {
+    prop::check("exploration_deterministic", |g: &mut Gen| -> PropResult {
+        let n = g.usize(2..6);
+        let tokens = g.u64(1..3) as u32;
         let net = ring(n, tokens);
         let g1 = net.explore(200_000).unwrap();
         let g2 = net.explore(200_000).unwrap();
@@ -45,14 +53,16 @@ proptest! {
             prop_assert_eq!(g1.marking(s), g2.marking(s));
             prop_assert_eq!(g1.successors(s), g2.successors(s));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Firing any enabled transition preserves every computed invariant.
-    #[test]
-    fn invariants_survive_any_firing(
-        n in 2usize..6,
-        steps in proptest::collection::vec(0usize..8, 0..30),
-    ) {
+/// Firing any enabled transition preserves every computed invariant.
+#[test]
+fn invariants_survive_any_firing() {
+    prop::check("invariants_survive_any_firing", |g: &mut Gen| -> PropResult {
+        let n = g.usize(2..6);
+        let steps = g.vec(0..30, |g| g.usize(0..8));
         let net = ring(n, 2);
         let invariants = net.place_invariants();
         let mut marking = net.initial_marking();
@@ -68,12 +78,16 @@ proptest! {
                 prop_assert_eq!(inv.sum(&marking), s0);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A linear pipeline of length n has exactly n+1 reachable markings
-    /// (token positions) and one deadlock.
-    #[test]
-    fn pipeline_state_count(n in 1usize..10) {
+/// A linear pipeline of length n has exactly n+1 reachable markings
+/// (token positions) and one deadlock.
+#[test]
+fn pipeline_state_count() {
+    prop::check("pipeline_state_count", |g: &mut Gen| -> PropResult {
+        let n = g.usize(1..10);
         let mut b = NetBuilder::new();
         let places: Vec<_> = (0..=n)
             .map(|i| b.place_with_tokens(format!("p{i}"), u32::from(i == 0)))
@@ -84,17 +98,21 @@ proptest! {
             b.arc_tp(t, places[i + 1]);
         }
         let net = b.build();
-        let g = net.explore(10_000).unwrap();
-        prop_assert_eq!(g.state_count(), n + 1);
-        prop_assert_eq!(g.deadlocks().len(), 1);
+        let gr = net.explore(10_000).unwrap();
+        prop_assert_eq!(gr.state_count(), n + 1);
+        prop_assert_eq!(gr.deadlocks().len(), 1);
         // The trace to the deadlock has length n.
-        let dead = g.deadlocks()[0];
-        prop_assert_eq!(g.trace_to(dead).len(), n);
-    }
+        let dead = gr.deadlocks()[0];
+        prop_assert_eq!(gr.trace_to(dead).len(), n);
+        Ok(())
+    });
+}
 
-    /// Product of k independent toggles has 2^k states.
-    #[test]
-    fn independent_components_multiply(k in 1usize..5) {
+/// Product of k independent toggles has 2^k states.
+#[test]
+fn independent_components_multiply() {
+    prop::check("independent_components_multiply", |g: &mut Gen| -> PropResult {
+        let k = g.usize(1..5);
         let mut b = NetBuilder::new();
         for i in 0..k {
             let p0 = b.place_with_tokens(format!("a{i}"), 1);
@@ -107,7 +125,8 @@ proptest! {
             b.arc_tp(t1, p0);
         }
         let net = b.build();
-        let g = net.explore(100_000).unwrap();
-        prop_assert_eq!(g.state_count(), 1 << k);
-    }
+        let gr = net.explore(100_000).unwrap();
+        prop_assert_eq!(gr.state_count(), 1 << k);
+        Ok(())
+    });
 }

@@ -1,0 +1,26 @@
+//! Deterministic runtime substrate for the A4A reproduction.
+//!
+//! The build environment is hermetic: no crates.io access. This crate
+//! replaces the three registry dependencies the workspace used to pull —
+//! `rand`, `proptest`, and `criterion` — with small, fully-deterministic
+//! in-workspace equivalents:
+//!
+//! - [`rng`]: a seedable PRNG ([`Rng`], SplitMix64 seeding feeding a
+//!   xoshiro256++ stream) with uniform `f64` and exponential sampling.
+//!   The stream is pinned by golden-value tests, so ablation results
+//!   replay bit-identically across platforms and future PRs — a stronger
+//!   guarantee than `rand` gives (`StdRng` is explicitly *not*
+//!   stream-stable across versions).
+//! - [`prop`]: a seeded property-testing harness with failure-case
+//!   shrinking, an env-overridable case count (`A4A_PROP_CASES`), and a
+//!   reproducing seed printed on every failure (`A4A_PROP_SEED`).
+//! - [`bench`]: a warmup + median-of-N wall-clock timer emitting JSON
+//!   lines, replacing `criterion` for the kernel benchmarks.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{BenchResult, Bencher};
+pub use prop::{Config, Gen, PropError, TestCaseError};
+pub use rng::Rng;

@@ -1,13 +1,15 @@
 //! Property-based tests for the simulation substrate.
 
+use a4a_rt::prop::{self, Gen, PropResult};
+use a4a_rt::{prop_assert, prop_assert_eq};
 use a4a_sim::{Logic, Scheduler, Time};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events pop in non-decreasing time order regardless of insertion
-    /// order, with FIFO tie-breaking.
-    #[test]
-    fn scheduler_orders_any_sequence(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events pop in non-decreasing time order regardless of insertion
+/// order, with FIFO tie-breaking.
+#[test]
+fn scheduler_orders_any_sequence() {
+    prop::check("scheduler_orders_any_sequence", |g: &mut Gen| -> PropResult {
+        let times = g.vec(1..200, |g| g.u64(0..1_000_000));
         let mut sched = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             sched.schedule(Time::from_fs(t), i);
@@ -31,14 +33,16 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
-    }
+        Ok(())
+    });
+}
 
-    /// Cancelling an arbitrary subset removes exactly those events.
-    #[test]
-    fn scheduler_cancellation(
-        times in proptest::collection::vec(0u64..1000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly those events.
+#[test]
+fn scheduler_cancellation() {
+    prop::check("scheduler_cancellation", |g: &mut Gen| -> PropResult {
+        let times = g.vec(1..100, |g| g.u64(0..1000));
+        let cancel_mask = g.vec(1..100, |g| g.bool());
         let mut sched = Scheduler::new();
         let keys: Vec<_> = times
             .iter()
@@ -61,34 +65,49 @@ proptest! {
         delivered.sort_unstable();
         expected.sort_unstable();
         prop_assert_eq!(delivered, expected);
-    }
+        Ok(())
+    });
+}
 
-    /// Time arithmetic round-trips for any femtosecond pair.
-    #[test]
-    fn time_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+/// Time arithmetic round-trips for any femtosecond pair.
+#[test]
+fn time_add_sub_roundtrip() {
+    prop::check("time_add_sub_roundtrip", |g: &mut Gen| -> PropResult {
+        let a = g.u64(0..u64::MAX / 4);
+        let b = g.u64(0..u64::MAX / 4);
         let ta = Time::from_fs(a);
         let tb = Time::from_fs(b);
         prop_assert_eq!(ta + tb - tb, ta);
         prop_assert_eq!((ta + tb).saturating_sub(ta), tb);
         prop_assert!(ta.saturating_sub(ta + tb) == Time::ZERO);
-    }
+        Ok(())
+    });
+}
 
-    /// Three-valued logic refines Boolean logic: on known values the
-    /// operators agree with bool.
-    #[test]
-    fn logic_refines_bool(a in any::<bool>(), b in any::<bool>()) {
+/// Three-valued logic refines Boolean logic: on known values the
+/// operators agree with bool.
+#[test]
+fn logic_refines_bool() {
+    prop::check("logic_refines_bool", |g: &mut Gen| -> PropResult {
+        let a = g.bool();
+        let b = g.bool();
         let la = Logic::from(a);
         let lb = Logic::from(b);
         prop_assert_eq!(la.and(lb), Logic::from(a && b));
         prop_assert_eq!(la.or(lb), Logic::from(a || b));
         prop_assert_eq!(!la, Logic::from(!a));
-    }
+        Ok(())
+    });
+}
 
-    /// X is absorbing except against controlling values.
-    #[test]
-    fn logic_x_pessimism(a in any::<bool>()) {
+/// X is absorbing except against controlling values.
+#[test]
+fn logic_x_pessimism() {
+    prop::check("logic_x_pessimism", |g: &mut Gen| -> PropResult {
+        let a = g.bool();
         let la = Logic::from(a);
         prop_assert_eq!(Logic::X.and(la), if a { Logic::X } else { Logic::Zero });
         prop_assert_eq!(Logic::X.or(la), if a { Logic::One } else { Logic::X });
-    }
+        Ok(())
+    });
 }

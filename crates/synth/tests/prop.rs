@@ -1,9 +1,10 @@
 //! Property-based tests: every clean random specification synthesises
 //! into a conformant, hazard-free circuit in both styles.
 
+use a4a_rt::prop::{self, Config, Gen, PropResult};
+use a4a_rt::{prop_assert, prop_assert_eq};
 use a4a_stg::prop_support::{pipeline_output_count, pipeline_stg, pipeline_stg_with_prefix};
 use a4a_synth::{extract_next_state, synthesize, verify_si, SynthOptions, SynthStyle};
-use proptest::prelude::*;
 
 #[test]
 fn wide_composition_synthesises_via_espresso() {
@@ -19,13 +20,13 @@ fn wide_composition_synthesises_via_espresso() {
     assert!(report.is_clean(), "{:?}", report.violations.first());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Synthesis of any handshake pipeline verifies clean in both
-    /// styles.
-    #[test]
-    fn pipelines_synthesise_clean(n in 2usize..7, mask in any::<u64>()) {
+/// Synthesis of any handshake pipeline verifies clean in both
+/// styles.
+#[test]
+fn pipelines_synthesise_clean() {
+    prop::check_with(&Config::with_cases(64), "pipelines_synthesise_clean", |g: &mut Gen| -> PropResult {
+        let n = g.usize(2..7);
+        let mask = g.any_u64();
         let stg = pipeline_stg(n, mask | 0b10); // at least one output
         for style in [SynthStyle::ComplexGate, SynthStyle::GeneralizedC] {
             let synth = synthesize(&stg, &SynthOptions::new(style)).unwrap();
@@ -37,12 +38,17 @@ proptest! {
             let report = verify_si(&stg, synth.netlist(), 1_000_000).unwrap();
             prop_assert!(report.is_clean(), "{:?}: {:?}", style, report.violations.first());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The synthesised complex-gate function agrees with the extracted
-    /// next-state function on every reachable code.
-    #[test]
-    fn covers_match_next_state(n in 2usize..7, mask in any::<u64>()) {
+/// The synthesised complex-gate function agrees with the extracted
+/// next-state function on every reachable code.
+#[test]
+fn covers_match_next_state() {
+    prop::check_with(&Config::with_cases(64), "covers_match_next_state", |g: &mut Gen| -> PropResult {
+        let n = g.usize(2..7);
+        let mask = g.any_u64();
         let stg = pipeline_stg(n, mask | 0b10);
         let sg = stg.state_graph(1_000_000).unwrap();
         let synth = synthesize(&stg, &SynthOptions::new(SynthStyle::ComplexGate)).unwrap();
@@ -60,11 +66,16 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// gC set and reset covers never both fire on a reachable code.
-    #[test]
-    fn gc_set_reset_disjoint_on_reachable(n in 2usize..6, mask in any::<u64>()) {
+/// gC set and reset covers never both fire on a reachable code.
+#[test]
+fn gc_set_reset_disjoint_on_reachable() {
+    prop::check_with(&Config::with_cases(64), "gc_set_reset_disjoint_on_reachable", |g: &mut Gen| -> PropResult {
+        let n = g.usize(2..6);
+        let mask = g.any_u64();
         let stg = pipeline_stg(n, mask | 0b10);
         let sg = stg.state_graph(1_000_000).unwrap();
         let synth = synthesize(&stg, &SynthOptions::new(SynthStyle::GeneralizedC)).unwrap();
@@ -82,5 +93,6 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
 }
