@@ -10,20 +10,29 @@
 //! 5. synchroniser metastability tail sensitivity.
 
 use a4a::scenario;
-use a4a_a2a::{MetaParams, Wait};
+use a4a_a2a::Wait;
 use a4a_analog::metrics;
+use a4a_bench::ablation::{
+    batch_stats, root_seed, sync_metastability_batch, wait_metastability_batch,
+};
 use a4a_bench::report;
 use a4a_ctrl::{AsyncController, AsyncTiming};
+use a4a_rt::Pool;
 use a4a_sim::Time;
 use a4a_synth::{synthesize, SynthOptions, SynthStyle};
 
 fn main() {
-    ablate_token_decoupling();
-    ablate_pext();
-    ablate_synth_style();
-    ablate_a2a_filtering();
-    ablate_metastability();
-    ablate_sync_metastability();
+    a4a_rt::bench::time_once(
+        &format!("ablation/all/t{}", Pool::global().threads()),
+        || {
+            ablate_token_decoupling();
+            ablate_pext();
+            ablate_synth_style();
+            ablate_a2a_filtering();
+            ablate_metastability();
+            ablate_sync_metastability();
+        },
+    );
 }
 
 /// 1. Token decoupling: the early acknowledge lets the token move after
@@ -154,84 +163,35 @@ fn ablate_a2a_filtering() {
 /// 6. Synchroniser metastability: the synchronous controller's UV
 ///    reaction with marginal captures resolving the wrong way (footnote 1
 ///    of the paper: "the latency may increase by another clock period").
+///    Each scenario's RNG seed is a SplitMix64 split of the root seed
+///    (`A4A_PROP_SEED` overrides), so the batch parallelises on the
+///    global pool without changing a single bit of the output.
 fn ablate_sync_metastability() {
-    use a4a_analog::SensorKind;
-    use a4a_ctrl::{BuckController, Command, SyncController, SyncParams};
     println!("== Ablation 6: synchroniser metastability (333 MHz) ==");
+    let root = root_seed();
     for (p, label) in [(0.0, "disabled"), (0.2, "p=0.2"), (0.8, "p=0.8")] {
-        let mut latencies = Vec::new();
-        for seed in 0..40u64 {
-            let meta = if p == 0.0 {
-                MetaParams::disabled()
-            } else {
-                MetaParams::with_seed(p, Time::from_ns(1.0), seed)
-            };
-            let params = SyncParams::at_mhz(333.0).with_meta(meta);
-            let mut ctrl = SyncController::new(1, params);
-            // Arm phase 0 and raise UV just after an edge.
-            while ctrl.next_wakeup().map(|w| w < Time::from_ns(30.0)).unwrap_or(false) {
-                let w = ctrl.next_wakeup().expect("clocked");
-                ctrl.on_wakeup(w);
-                let _ = ctrl.take_commands();
-            }
-            let t0 = Time::from_ns(30.2);
-            ctrl.on_sensor(t0, SensorKind::Uv, true);
-            let mut latency = f64::NAN;
-            for _ in 0..60 {
-                let w = ctrl.next_wakeup().expect("clocked");
-                ctrl.on_wakeup(w);
-                if let Some(cmd) = ctrl
-                    .take_commands()
-                    .into_iter()
-                    .find(|c| matches!(c.command, Command::Gate { value: true, pmos: true, .. }))
-                {
-                    latency = cmd.time.as_ns() - t0.as_ns();
-                    break;
-                }
-            }
-            latencies.push(latency);
-        }
-        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
-        let worst = latencies.iter().cloned().fold(f64::MIN, f64::max);
+        let latencies = sync_metastability_batch(Pool::global(), p, root, 40);
+        let (mean, worst) = batch_stats(&latencies);
         println!("  {label:>9}: mean UV latency {mean:.2}ns, worst {worst:.2}ns");
     }
     println!();
 }
 
-/// 5. Metastability tail: the same WAIT element with an enabled
-///    resolution-time model shows the latency distribution a marginal
-///    input produces (fully contained in the element).
+/// 5. Metastability tail: independent WAIT elements with an enabled
+///    resolution-time model show the latency distribution a marginal
+///    input produces (fully contained in the element). One fresh,
+///    seed-split element per scenario — see ablation 6 for the batch
+///    determinism contract.
 fn ablate_metastability() {
     println!("== Ablation 5: metastability resolution tail ==");
+    let root = root_seed();
     for (p, tau_ns) in [(0.0, 0.0), (0.3, 2.0), (0.9, 5.0)] {
-        let meta = if p == 0.0 {
-            MetaParams::disabled()
-        } else {
-            MetaParams::with_seed(p, Time::from_ns(tau_ns), 7)
-        };
-        let mut worst = Time::ZERO;
-        let mut total = Time::ZERO;
-        const N: u64 = 200;
-        let mut wait = Wait::with_meta(Time::from_ns(0.31), meta);
-        for k in 0..N {
-            let t = Time::from_ns(100.0 * k as f64);
-            wait.set_req(t, true);
-            wait.set_sig(t + Time::from_ns(1.0), true);
-            let deadline = wait.next_deadline().expect("latched");
-            let latency = deadline - (t + Time::from_ns(1.0));
-            worst = worst.max(latency);
-            total += latency;
-            wait.poll(deadline);
-            wait.set_req(deadline + Time::from_ns(1.0), false);
-            wait.set_sig(deadline + Time::from_ns(1.0), false);
-            if let Some(d) = wait.next_deadline() {
-                wait.poll(d);
-            }
-        }
+        let tau = Time::from_ns(if tau_ns == 0.0 { 1.0 } else { tau_ns });
+        let latencies = wait_metastability_batch(Pool::global(), p, tau, root, 200);
+        let (mean, worst) = batch_stats(&latencies);
         println!(
-            "  p={p:.1} tau={tau_ns:.0}ns: mean latch latency {:.3}ns, worst {:.3}ns",
-            (total / N).as_ns(),
-            worst.as_ns()
+            "  p={p:.1} tau={tau_ns:.0}ns: mean latch latency {mean:.3}ns, worst {worst:.3}ns"
         );
     }
+    println!();
 }

@@ -5,13 +5,15 @@
 use a4a::scenario::{self, ControllerKind};
 use a4a_bench::experiments::fig7c;
 use a4a_bench::report;
+use a4a_rt::Pool;
 
 fn main() {
     let labels: Vec<String> = ControllerKind::paper_series()
         .iter()
         .map(ControllerKind::label)
         .collect();
-    let points = fig7c();
+    let threads = Pool::global().threads();
+    let (points, _) = a4a_rt::bench::time_once(&format!("fig7c/sweep/t{threads}"), fig7c);
     println!("Figure 7c: inductor ripple losses (uW) for 1-10uH coils at 6 Ohm load\n");
     println!("{}", report::sweep_table("L (uH)", &labels, &points));
     println!(

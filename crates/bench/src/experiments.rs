@@ -6,6 +6,7 @@ use a4a_analog::{metrics, CoilModel, SensorKind, Waveform};
 use a4a_ctrl::{
     AsyncController, AsyncTiming, BuckController, Command, SyncParams, TimedCommand,
 };
+use a4a_rt::Pool;
 use a4a_sim::Time;
 
 /// One row of Table I: reaction time per condition, in nanoseconds.
@@ -254,12 +255,11 @@ pub fn fig6_run(kind: ControllerKind) -> Fig6Run {
 }
 
 /// Figure 6: both paper series (333 MHz synchronous and asynchronous)
-/// plus the other clock rates for context.
+/// plus the other clock rates for context. Runs are independent, so
+/// they execute on the global pool; [`Pool::par_map`] preserves series
+/// order, keeping the output identical for every thread count.
 pub fn fig6_all() -> Vec<Fig6Run> {
-    ControllerKind::paper_series()
-        .into_iter()
-        .map(fig6_run)
-        .collect()
+    Pool::global().par_map(ControllerKind::paper_series(), fig6_run)
 }
 
 /// One grid point of a Figure 7 sweep.
@@ -280,66 +280,77 @@ fn run_sweep_point(builder: TestbenchBuilder, kind: ControllerKind) -> Waveform 
     tb.into_waveform()
 }
 
+/// Runs one independent simulation per (grid point, series) pair on
+/// `pool` and regroups the results into x-ordered [`SweepPoint`]s.
+///
+/// Every grid cell is a fresh testbench with no shared state, and
+/// [`Pool::par_map`] preserves input order, so the sweep result is
+/// bit-identical for every thread count (`A4A_THREADS=1` runs the plain
+/// sequential loop).
+fn sweep_on(
+    pool: &Pool,
+    grid: &[f64],
+    cell: impl Fn(f64, ControllerKind) -> f64 + Sync,
+) -> Vec<SweepPoint> {
+    let series = ControllerKind::paper_series();
+    let tasks: Vec<(f64, ControllerKind)> = grid
+        .iter()
+        .flat_map(|&x| series.iter().map(move |&kind| (x, kind)))
+        .collect();
+    let ys = pool.par_map(tasks, |(x, kind)| cell(x, kind));
+    grid.iter()
+        .zip(ys.chunks(series.len()))
+        .map(|(&x, y)| SweepPoint { x, y: y.to_vec() })
+        .collect()
+}
+
 /// Figure 7a: peak inductor current (mA) for 1–10 µH coils at 6 Ω.
 pub fn fig7a() -> Vec<SweepPoint> {
-    scenario::coil_grid()
-        .into_iter()
-        .map(|l| SweepPoint {
-            x: l,
-            y: ControllerKind::paper_series()
-                .into_iter()
-                .map(|kind| {
-                    let w = run_sweep_point(scenario::sweep_coil(l, 6.0), kind);
-                    metrics::peak_current(&w) * 1e3
-                })
-                .collect(),
-        })
-        .collect()
+    fig7a_on(Pool::global(), &scenario::coil_grid())
+}
+
+/// [`fig7a`] on an explicit pool and coil grid (µH) — used by the
+/// differential/golden tests and the `--quick` CI tier.
+pub fn fig7a_on(pool: &Pool, grid: &[f64]) -> Vec<SweepPoint> {
+    sweep_on(pool, grid, |l, kind| {
+        let w = run_sweep_point(scenario::sweep_coil(l, 6.0), kind);
+        metrics::peak_current(&w) * 1e3
+    })
 }
 
 /// Figure 7b: peak inductor current (mA) for 3–15 Ω loads at 4.7 µH.
 pub fn fig7b() -> Vec<SweepPoint> {
-    scenario::load_grid()
-        .into_iter()
-        .map(|r| SweepPoint {
-            x: r,
-            y: ControllerKind::paper_series()
-                .into_iter()
-                .map(|kind| {
-                    let w = run_sweep_point(scenario::sweep_load(r), kind);
-                    metrics::peak_current(&w) * 1e3
-                })
-                .collect(),
-        })
-        .collect()
+    fig7b_on(Pool::global(), &scenario::load_grid())
+}
+
+/// [`fig7b`] on an explicit pool and load grid (Ω).
+pub fn fig7b_on(pool: &Pool, grid: &[f64]) -> Vec<SweepPoint> {
+    sweep_on(pool, grid, |r, kind| {
+        let w = run_sweep_point(scenario::sweep_load(r), kind);
+        metrics::peak_current(&w) * 1e3
+    })
 }
 
 /// Figure 7c: inductor ripple (AC) losses (µW) for 1–10 µH coils at
 /// 6 Ω, measured over the steady window.
 pub fn fig7c() -> Vec<SweepPoint> {
-    scenario::coil_grid()
-        .into_iter()
-        .map(|l| {
-            let coil = CoilModel::coilcraft(l);
-            SweepPoint {
-                x: l,
-                y: ControllerKind::paper_series()
-                    .into_iter()
-                    .map(|kind| {
-                        let w = run_sweep_point(scenario::sweep_coil(l, 6.0), kind);
-                        let steady = w.window(3e-6, 8e-6);
-                        let ac: f64 = (0..4)
-                            .map(|k| {
-                                let a = metrics::ac_rms_current(&steady, k);
-                                a * a * coil.esr_hf
-                            })
-                            .sum();
-                        ac * 1e6
-                    })
-                    .collect(),
-            }
-        })
-        .collect()
+    fig7c_on(Pool::global(), &scenario::coil_grid())
+}
+
+/// [`fig7c`] on an explicit pool and coil grid (µH).
+pub fn fig7c_on(pool: &Pool, grid: &[f64]) -> Vec<SweepPoint> {
+    sweep_on(pool, grid, |l, kind| {
+        let coil = CoilModel::coilcraft(l);
+        let w = run_sweep_point(scenario::sweep_coil(l, 6.0), kind);
+        let steady = w.window(3e-6, 8e-6);
+        let ac: f64 = (0..4)
+            .map(|k| {
+                let a = metrics::ac_rms_current(&steady, k);
+                a * a * coil.esr_hf
+            })
+            .sum();
+        ac * 1e6
+    })
 }
 
 #[cfg(test)]

@@ -71,15 +71,19 @@ pub fn sweep_csv(x_name: &str, labels: &[String], points: &[SweepPoint]) -> Stri
     out
 }
 
-/// The output directory for regenerated artefacts (`results/` at the
-/// workspace root, creating it if needed).
+/// The output directory for regenerated artefacts: `A4A_RESULTS_DIR`
+/// when set (the `--quick` CI tier points it at a scratch directory to
+/// diff against the checked-in `results/`), otherwise `results/` at the
+/// workspace root. Created if needed.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from directory creation.
 pub fn results_dir() -> io::Result<PathBuf> {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
+    let dir = match std::env::var_os("A4A_RESULTS_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    };
     fs::create_dir_all(&dir)?;
     Ok(dir)
 }

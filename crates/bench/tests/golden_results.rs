@@ -1,0 +1,202 @@
+//! Golden-result regression suite: regenerates Table I and the Figure
+//! 7a/7b/7c sweeps in-process and compares every cell against the
+//! checked-in expected values (which mirror `results/*.csv`).
+//!
+//! The whole pipeline is deterministic, so the tolerances below are
+//! tight — they only absorb formatting-level noise, not model drift. A
+//! mismatch fails the test *and* prints a ready-to-paste replacement
+//! for the expected-value block, so an intentional recalibration is a
+//! copy-paste plus a `results/` regeneration away.
+
+use a4a_bench::experiments::{fig7a, fig7b, fig7c, table1, SweepPoint};
+
+/// Per-column absolute tolerances for Table I reaction times (ns),
+/// columns HL/UV/OV/OC/ZC. The sync rows are closed-form; ASYNC is a
+/// measured stimulus-response but still bit-deterministic.
+const TOL_TABLE1: [f64; 5] = [0.005, 0.005, 0.005, 0.005, 0.005];
+
+/// Per-column tolerances for the Figure 7a/7b peak currents (mA),
+/// columns 100MHz/333MHz/666MHz/1GHz/ASYNC.
+const TOL_PEAK_MA: [f64; 5] = [0.05, 0.05, 0.05, 0.05, 0.05];
+
+/// Per-column tolerances for the Figure 7c ripple losses (µW). Losses
+/// integrate i²R over the whole run, so the scale is larger.
+const TOL_LOSS_UW: [f64; 5] = [1.0, 1.0, 1.0, 1.0, 1.0];
+
+/// Table I, `results/table1.csv`: reaction time in ns per condition.
+const EXPECTED_TABLE1: &[(&str, [f64; 5])] = &[
+    ("100MHz", [25.000, 25.000, 25.000, 25.000, 25.000]),
+    ("333MHz", [7.508, 7.508, 7.508, 7.508, 7.508]),
+    ("666MHz", [3.754, 3.754, 3.754, 3.754, 3.754]),
+    ("1GHz", [2.500, 2.500, 2.500, 2.500, 2.500]),
+    ("ASYNC", [1.870, 1.020, 1.180, 0.750, 0.310]),
+];
+
+/// Figure 7a, `results/fig7a.csv`: peak inductor current (mA) over the
+/// 1–10 µH coil grid at a 6 Ω load.
+const EXPECTED_7A: &[(f64, [f64; 5])] = &[
+    (1.0000, [391.8359, 339.3835, 324.4143, 315.4078, 307.8859]),
+    (1.8000, [273.1133, 264.9641, 261.4382, 255.5265, 253.7817]),
+    (2.2500, [254.9148, 251.3471, 248.1570, 243.9897, 242.3711]),
+    (3.1000, [237.1193, 235.7463, 234.1715, 230.7614, 229.7652]),
+    (4.7000, [227.9720, 222.4335, 221.5688, 219.9790, 218.5574]),
+    (5.7000, [221.4015, 217.8261, 216.8736, 215.8278, 214.6387]),
+    (6.8000, [214.9959, 214.1974, 213.5077, 212.6984, 211.7792]),
+    (8.2000, [216.7976, 211.1805, 210.6232, 209.1963, 209.1091]),
+    (10.0000, [212.3995, 208.5393, 207.9273, 207.1579, 206.8557]),
+];
+
+/// Figure 7b, `results/fig7b.csv`: peak inductor current (mA) over the
+/// 3–15 Ω load grid at 4.7 µH.
+const EXPECTED_7B: &[(f64, [f64; 5])] = &[
+    (3.0000, [228.0970, 222.4726, 221.5491, 220.0656, 218.4350]),
+    (6.0000, [227.9720, 222.4335, 221.5688, 219.9790, 218.5574]),
+    (9.0000, [227.9291, 222.1447, 221.3889, 218.9711, 218.4851]),
+    (12.0000, [227.9074, 222.6890, 221.2731, 219.9369, 218.3748]),
+    (15.0000, [227.8944, 222.6035, 221.2031, 219.8798, 218.3632]),
+];
+
+/// Figure 7c, `results/fig7c.csv`: inductor ripple losses (µW) over the
+/// 1–10 µH coil grid at a 6 Ω load.
+const EXPECTED_7C: &[(f64, [f64; 5])] = &[
+    (1.0000, [5793.9286, 2638.6499, 2344.5797, 2776.2112, 3179.8292]),
+    (1.8000, [4850.9367, 4349.0816, 4478.5739, 4986.5165, 5613.1297]),
+    (2.2500, [6428.9446, 5927.3220, 5830.1353, 5576.4485, 6563.0822]),
+    (3.1000, [6919.4281, 7212.9059, 6324.9039, 7035.1438, 7605.2333]),
+    (4.7000, [12739.9305, 7921.9931, 8684.9816, 6789.6211, 7795.9946]),
+    (5.7000, [13536.5124, 9360.2832, 9496.7755, 10264.3506, 10073.1968]),
+    (6.8000, [18319.9533, 13546.3606, 10104.6576, 9704.2121, 8991.9381]),
+    (8.2000, [14920.7957, 12407.7316, 10425.8219, 10283.0535, 10382.4997]),
+    (10.0000, [19110.5739, 13860.6611, 9790.4880, 11574.0595, 9431.5742]),
+];
+
+const SERIES: [&str; 5] = ["100MHz", "333MHz", "666MHz", "1GHz", "ASYNC"];
+
+/// Renders a sweep as a ready-to-paste replacement for one of the
+/// `EXPECTED_*` blocks above.
+fn paste_block(name: &str, points: &[SweepPoint]) -> String {
+    let mut s = format!("const {name}: &[(f64, [f64; 5])] = &[\n");
+    for p in points {
+        let ys: Vec<String> = p.y.iter().map(|v| format!("{v:.4}")).collect();
+        s.push_str(&format!("    ({:.4}, [{}]),\n", p.x, ys.join(", ")));
+    }
+    s.push_str("];");
+    s
+}
+
+/// Compares a regenerated sweep against its golden block; on any
+/// out-of-tolerance cell, prints every offending cell plus the paste
+/// block and panics.
+fn check_sweep(
+    name: &str,
+    points: &[SweepPoint],
+    expected: &[(f64, [f64; 5])],
+    tol: &[f64; 5],
+    unit: &str,
+) {
+    let mut errors = Vec::new();
+    if points.len() != expected.len() {
+        errors.push(format!(
+            "{name}: row count {} != expected {}",
+            points.len(),
+            expected.len()
+        ));
+    }
+    for (p, (x, ys)) in points.iter().zip(expected) {
+        if (p.x - x).abs() > 1e-9 {
+            errors.push(format!("{name}: grid point {} != expected {x}", p.x));
+            continue;
+        }
+        for (col, ((got, want), t)) in p.y.iter().zip(ys).zip(tol).enumerate() {
+            if !got.is_finite() {
+                errors.push(format!("{name} x={x} {}: non-finite {got}", SERIES[col]));
+            } else if (got - want).abs() > *t {
+                errors.push(format!(
+                    "{name} x={x} {}: got {got:.4} want {want:.4} (±{t}) {unit}",
+                    SERIES[col]
+                ));
+            }
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("MISMATCH {e}");
+        }
+        eprintln!(
+            "\nIf this change is intentional, replace the expected block with:\n\n{}\n\n\
+             ...and regenerate results/ with `cargo run --release --bin {}`.",
+            paste_block(name, points),
+            name.trim_start_matches("EXPECTED_").to_lowercase().replace("7", "fig7")
+        );
+        panic!("{name}: {} golden cell(s) out of tolerance", errors.len());
+    }
+}
+
+#[test]
+fn table1_matches_golden() {
+    let rows = table1();
+    assert_eq!(rows.len(), EXPECTED_TABLE1.len(), "Table I row count");
+    let mut errors = Vec::new();
+    for (row, (label, ys)) in rows.iter().zip(EXPECTED_TABLE1) {
+        assert_eq!(&row.label, label, "Table I row order");
+        for (col, ((got, want), t)) in row.ns.iter().zip(ys).zip(&TOL_TABLE1).enumerate() {
+            if !got.is_finite() || (got - want).abs() > *t {
+                errors.push(format!(
+                    "table1 {label} {}: got {got:.3} want {want:.3} (±{t}) ns",
+                    ["HL", "UV", "OV", "OC", "ZC"][col]
+                ));
+            }
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("MISMATCH {e}");
+        }
+        let mut s = String::from("const EXPECTED_TABLE1: &[(&str, [f64; 5])] = &[\n");
+        for row in &rows {
+            let ys: Vec<String> = row.ns.iter().map(|v| format!("{v:.3}")).collect();
+            s.push_str(&format!("    (\"{}\", [{}]),\n", row.label, ys.join(", ")));
+        }
+        s.push_str("];");
+        eprintln!(
+            "\nIf this change is intentional, replace the expected block with:\n\n{s}\n\n\
+             ...and regenerate results/ with `cargo run --release --bin table1`."
+        );
+        panic!("table1: {} golden cell(s) out of tolerance", errors.len());
+    }
+}
+
+#[test]
+fn fig7a_matches_golden() {
+    check_sweep("EXPECTED_7A", &fig7a(), EXPECTED_7A, &TOL_PEAK_MA, "mA");
+}
+
+#[test]
+fn fig7b_matches_golden() {
+    check_sweep("EXPECTED_7B", &fig7b(), EXPECTED_7B, &TOL_PEAK_MA, "mA");
+}
+
+#[test]
+fn fig7c_matches_golden() {
+    check_sweep("EXPECTED_7C", &fig7c(), EXPECTED_7C, &TOL_LOSS_UW, "µW");
+}
+
+/// The paper's headline claim, pinned as an invariant rather than a raw
+/// number: the ASYNC controller's peak current is at or below every
+/// synchronous series at every grid point of Fig. 7a/7b.
+#[test]
+fn async_dominates_sync_peaks() {
+    for (fig, points) in [("fig7a", fig7a()), ("fig7b", fig7b())] {
+        for p in &points {
+            let async_peak = p.y[4];
+            for (i, &sync_peak) in p.y[..4].iter().enumerate() {
+                assert!(
+                    async_peak <= sync_peak + 1.0,
+                    "{fig} x={}: ASYNC {async_peak:.2} mA exceeds {} {sync_peak:.2} mA",
+                    p.x,
+                    SERIES[i]
+                );
+            }
+        }
+    }
+}

@@ -172,8 +172,20 @@ impl ReachabilityGraph {
     }
 }
 
+/// Frontiers narrower than this are expanded inline: the per-state work
+/// is a handful of vector ops, so shipping one or two states to the
+/// pool costs more than it saves.
+const PAR_FRONTIER_MIN: usize = 8;
+
 impl PetriNet {
-    /// Explores the state space breadth-first from the initial marking.
+    /// Explores the state space breadth-first from the initial marking,
+    /// on the global thread pool ([`a4a_rt::Pool::global`]).
+    ///
+    /// State numbering is breadth-first discovery order and is
+    /// *identical for every thread count*: each BFS level occupies a
+    /// contiguous id range, levels are expanded in parallel but merged
+    /// sequentially in (parent id, transition id) order — exactly the
+    /// order the sequential loop discovers successors in.
     ///
     /// # Errors
     ///
@@ -195,6 +207,22 @@ impl PetriNet {
         initial: Marking,
         max_states: usize,
     ) -> Result<ReachabilityGraph, ExploreError> {
+        self.explore_with(a4a_rt::Pool::global(), initial, max_states)
+    }
+
+    /// [`PetriNet::explore_from`] on an explicit pool — the entry point
+    /// the differential tests use to compare thread counts in-process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::StateLimit`] if more than `max_states`
+    /// distinct markings are discovered.
+    pub fn explore_with(
+        &self,
+        pool: &a4a_rt::Pool,
+        initial: Marking,
+        max_states: usize,
+    ) -> Result<ReachabilityGraph, ExploreError> {
         let mut index: HashMap<Marking, StateId> = HashMap::new();
         let mut states = Vec::new();
         let mut successors: Vec<Vec<(TransitionId, StateId)>> = Vec::new();
@@ -203,31 +231,48 @@ impl PetriNet {
         states.push(initial);
         successors.push(Vec::new());
 
-        let mut frontier = 0usize;
-        while frontier < states.len() {
-            let current = StateId(frontier as u32);
-            let marking = states[frontier].clone();
-            for t in self.transition_ids() {
-                if !self.is_enabled(t, &marking) {
-                    continue;
-                }
-                let next = self.fire(t, &marking);
-                let next_id = match index.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        if states.len() >= max_states {
-                            return Err(ExploreError::StateLimit { limit: max_states });
-                        }
-                        let id = StateId(states.len() as u32);
-                        index.insert(next.clone(), id);
-                        states.push(next);
-                        successors.push(Vec::new());
-                        id
-                    }
+        // Level-synchronised BFS: states[level_start..level_end] is one
+        // completed level; expand it (in parallel when wide enough),
+        // then merge the per-state successor lists in id order. The
+        // merge — and therefore numbering, edge order, and the point at
+        // which the state limit trips — replays the sequential loop
+        // exactly.
+        let mut level_start = 0usize;
+        while level_start < states.len() {
+            let level_end = states.len();
+            let expand = |marking: &Marking| -> Vec<(TransitionId, Marking)> {
+                self.transition_ids()
+                    .filter(|&t| self.is_enabled(t, marking))
+                    .map(|t| (t, self.fire(t, marking)))
+                    .collect()
+            };
+            let expanded: Vec<Vec<(TransitionId, Marking)>> =
+                if pool.threads() <= 1 || level_end - level_start < PAR_FRONTIER_MIN {
+                    states[level_start..level_end].iter().map(expand).collect()
+                } else {
+                    let frontier: Vec<Marking> = states[level_start..level_end].to_vec();
+                    pool.par_map(frontier, |m| expand(&m))
                 };
-                successors[current.index()].push((t, next_id));
+            for (offset, succs) in expanded.into_iter().enumerate() {
+                let current = StateId((level_start + offset) as u32);
+                for (t, next) in succs {
+                    let next_id = match index.get(&next) {
+                        Some(&id) => id,
+                        None => {
+                            if states.len() >= max_states {
+                                return Err(ExploreError::StateLimit { limit: max_states });
+                            }
+                            let id = StateId(states.len() as u32);
+                            index.insert(next.clone(), id);
+                            states.push(next);
+                            successors.push(Vec::new());
+                            id
+                        }
+                    };
+                    successors[current.index()].push((t, next_id));
+                }
             }
-            frontier += 1;
+            level_start = level_end;
         }
         Ok(ReachabilityGraph { states, successors })
     }

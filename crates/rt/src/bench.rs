@@ -41,6 +41,26 @@ impl BenchResult {
     }
 }
 
+/// Times one call of `f`, prints the JSON line, and returns the result
+/// of `f` plus the measurement — the per-task wall-time hook the sweep
+/// binaries use (no warmup: the task *is* the workload, e.g. a full
+/// Figure 7 sweep at the configured thread count).
+pub fn time_once<R>(name: &str, f: impl FnOnce() -> R) -> (R, BenchResult) {
+    let t0 = Instant::now();
+    let out = f();
+    let ns = t0.elapsed().as_nanos();
+    let result = BenchResult {
+        name: name.to_string(),
+        median_ns: ns,
+        min_ns: ns,
+        max_ns: ns,
+        mean_ns: ns,
+        samples: 1,
+    };
+    println!("{}", result.json_line());
+    (out, result)
+}
+
 /// Runs benchmarks with a fixed warmup/sample policy.
 #[derive(Debug, Clone)]
 pub struct Bencher {

@@ -16,11 +16,17 @@
 //!   reproducing seed printed on every failure (`A4A_PROP_SEED`).
 //! - [`bench`]: a warmup + median-of-N wall-clock timer emitting JSON
 //!   lines, replacing `criterion` for the kernel benchmarks.
+//! - [`pool`]: a scoped thread pool (`A4A_THREADS`-sized) whose
+//!   order-preserving [`pool::Pool::par_map`] keeps parallel results
+//!   bit-identical to the sequential loop — the substrate under the
+//!   parallel reachability engine and the Figure 7 sweeps.
 
 pub mod bench;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchResult, Bencher};
+pub use pool::Pool;
 pub use prop::{Config, Gen, PropError, TestCaseError};
 pub use rng::Rng;

@@ -216,8 +216,26 @@ impl StateGraph {
     }
 }
 
+/// Frontiers narrower than this are expanded inline (the pool's
+/// bookkeeping would dominate the handful of vector ops per state).
+const PAR_FRONTIER_MIN: usize = 8;
+
+/// One enabled firing out of a frontier state, computed during parallel
+/// expansion: the transition plus either the successor key or the
+/// consistency violation it commits.
+type Firing = (TransitionId, Result<(Marking, u64), ()>);
+
 impl Stg {
-    /// Builds the binary-encoded state graph.
+    /// Builds the binary-encoded state graph on the global thread pool
+    /// ([`a4a_rt::Pool::global`]).
+    ///
+    /// State numbering is breadth-first discovery order and is
+    /// *identical for every thread count*: each BFS level occupies a
+    /// contiguous id range, levels are expanded in parallel but merged
+    /// sequentially in (parent id, transition id) order — exactly the
+    /// order the sequential loop discovers successors in. Consistency
+    /// violations and the state limit also trip at the same firing, so
+    /// errors (including their traces) are bit-identical too.
     ///
     /// # Errors
     ///
@@ -226,6 +244,20 @@ impl Stg {
     /// * [`StgError::StateLimit`] if more than `max_states` states are
     ///   reachable.
     pub fn state_graph(&self, max_states: usize) -> Result<StateGraph, StgError> {
+        self.state_graph_with(a4a_rt::Pool::global(), max_states)
+    }
+
+    /// [`Stg::state_graph`] on an explicit pool — the entry point the
+    /// differential tests use to compare thread counts in-process.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stg::state_graph`].
+    pub fn state_graph_with(
+        &self,
+        pool: &a4a_rt::Pool,
+        max_states: usize,
+    ) -> Result<StateGraph, StgError> {
         let initial = (self.net.initial_marking(), self.initial_code());
         let mut index: HashMap<(Marking, u64), SgStateId> = HashMap::new();
         let mut markings = Vec::new();
@@ -239,21 +271,55 @@ impl Stg {
         successors.push(Vec::new());
         parents.push(None);
 
-        let mut frontier = 0usize;
-        while frontier < markings.len() {
-            let current = SgStateId(frontier as u32);
-            let marking = markings[frontier].clone();
-            let code = codes[frontier];
-            for t in self.net.transition_ids() {
-                if !self.net.is_enabled(t, &marking) {
-                    continue;
-                }
-                let next_code = match self.labels[t.index()] {
-                    Label::Dummy => code,
-                    Label::Edge(e) => {
-                        let cur = code & e.signal.mask() != 0;
-                        if cur == e.polarity.target_value() {
-                            // Edge fires against current value: inconsistent.
+        // Level-synchronised BFS (see `PetriNet::explore_with` for the
+        // determinism argument): expand one completed level in
+        // parallel, merge sequentially in id order.
+        let mut level_start = 0usize;
+        while level_start < markings.len() {
+            let level_end = markings.len();
+            // Firing outcomes depend only on the parent (marking, code)
+            // pair, so they are computable without the index.
+            let expand = |state: &(Marking, u64)| -> Vec<Firing> {
+                let (marking, code) = state;
+                self.net
+                    .transition_ids()
+                    .filter(|&t| self.net.is_enabled(t, marking))
+                    .map(|t| {
+                        let next_code = match self.labels[t.index()] {
+                            Label::Dummy => *code,
+                            Label::Edge(e) => {
+                                let cur = code & e.signal.mask() != 0;
+                                if cur == e.polarity.target_value() {
+                                    // Fires against current value.
+                                    return (t, Err(()));
+                                }
+                                code ^ e.signal.mask()
+                            }
+                        };
+                        (t, Ok((self.net.fire(t, marking), next_code)))
+                    })
+                    .collect()
+            };
+            let expanded: Vec<Vec<Firing>> =
+                if pool.threads() <= 1 || level_end - level_start < PAR_FRONTIER_MIN {
+                    (level_start..level_end)
+                        .map(|i| expand(&(markings[i].clone(), codes[i])))
+                        .collect()
+                } else {
+                    let frontier: Vec<(Marking, u64)> = (level_start..level_end)
+                        .map(|i| (markings[i].clone(), codes[i]))
+                        .collect();
+                    pool.par_map(frontier, |s| expand(&s))
+                };
+            for (offset, firings) in expanded.into_iter().enumerate() {
+                let current = SgStateId((level_start + offset) as u32);
+                for (t, outcome) in firings {
+                    let key = match outcome {
+                        Err(()) => {
+                            let e = match self.labels[t.index()] {
+                                Label::Edge(e) => e,
+                                Label::Dummy => unreachable!("dummy cannot be inconsistent"),
+                            };
                             let mut trace: Vec<String> = self
                                 .trace_names(&parents, current)
                                 .into_iter()
@@ -265,29 +331,27 @@ impl Stg {
                                 trace,
                             });
                         }
-                        code ^ e.signal.mask()
-                    }
-                };
-                let next_marking = self.net.fire(t, &marking);
-                let key = (next_marking, next_code);
-                let next_id = match index.get(&key) {
-                    Some(&id) => id,
-                    None => {
-                        if markings.len() >= max_states {
-                            return Err(StgError::StateLimit { limit: max_states });
+                        Ok(key) => key,
+                    };
+                    let next_id = match index.get(&key) {
+                        Some(&id) => id,
+                        None => {
+                            if markings.len() >= max_states {
+                                return Err(StgError::StateLimit { limit: max_states });
+                            }
+                            let id = SgStateId(markings.len() as u32);
+                            index.insert(key.clone(), id);
+                            markings.push(key.0);
+                            codes.push(key.1);
+                            successors.push(Vec::new());
+                            parents.push(Some((t, current)));
+                            id
                         }
-                        let id = SgStateId(markings.len() as u32);
-                        index.insert(key.clone(), id);
-                        markings.push(key.0);
-                        codes.push(key.1);
-                        successors.push(Vec::new());
-                        parents.push(Some((t, current)));
-                        id
-                    }
-                };
-                successors[current.index()].push((t, next_id));
+                    };
+                    successors[current.index()].push((t, next_id));
+                }
             }
-            frontier += 1;
+            level_start = level_end;
         }
         Ok(StateGraph {
             markings,

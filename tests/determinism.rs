@@ -4,6 +4,9 @@
 
 use a4a::scenario::{self, ControllerKind};
 use a4a::A4aFlow;
+use a4a_bench::ablation;
+use a4a_rt::Pool;
+use a4a_sim::Time;
 use a4a_synth::{synthesize, SynthOptions, SynthStyle};
 
 #[test]
@@ -59,6 +62,90 @@ fn flow_artifacts_are_deterministic() {
     assert_eq!(a.verilog, b.verilog);
     assert_eq!(a.g_format, b.g_format);
     assert_eq!(a.equations, b.equations);
+}
+
+/// Renders the seeded ablation batches on a given pool as an exact
+/// digest: every latency as raw `f64` bits, so the comparison is
+/// bit-identity, not approximate equality.
+fn ablation_digest(pool: &Pool, root: u64) -> String {
+    let mut out = String::new();
+    for p in [0.0, 0.2, 0.8] {
+        for ns in ablation::sync_metastability_batch(pool, p, root, 40) {
+            out.push_str(&format!("{:016x} ", ns.to_bits()));
+        }
+    }
+    for (p, tau_ns) in [(0.0, 1.0), (0.3, 2.0), (0.9, 5.0)] {
+        for ns in
+            ablation::wait_metastability_batch(pool, p, Time::from_ns(tau_ns), root, 200)
+        {
+            out.push_str(&format!("{:016x} ", ns.to_bits()));
+        }
+    }
+    out
+}
+
+#[test]
+fn ablation_batches_identical_across_pool_sizes() {
+    // The seeded scenario batches split one root seed with SplitMix64,
+    // so the result is a function of the seed alone — never of which
+    // worker ran which scenario. Pools of 1, 2, and 8 threads must
+    // produce the same bits.
+    let root = ablation::DEFAULT_ROOT_SEED;
+    let baseline = ablation_digest(&Pool::new(1), root);
+    for threads in [2, 8] {
+        assert_eq!(
+            ablation_digest(&Pool::new(threads), root),
+            baseline,
+            "ablation batch differs on a {threads}-thread pool"
+        );
+    }
+    // A different root seed must change the digest (the seed is live).
+    assert_ne!(ablation_digest(&Pool::new(1), root ^ 1), baseline);
+}
+
+/// Child-process hook for `ablation_identical_across_processes`: when
+/// re-exec'd with `A4A_EMIT_DIGEST=1` this prints the digest of the
+/// global pool's ablation batches and nothing else is asserted. In a
+/// normal test run the env var is unset and this is a no-op.
+#[test]
+fn emit_ablation_digest_when_asked() {
+    if std::env::var("A4A_EMIT_DIGEST").is_err() {
+        return;
+    }
+    let digest = ablation_digest(Pool::global(), ablation::root_seed());
+    println!("A4A_DIGEST {digest}");
+}
+
+#[test]
+fn ablation_identical_across_processes_with_same_seed() {
+    // Two *separate processes* with the same A4A_PROP_SEED but different
+    // thread counts must agree bit-for-bit. This closes the gap the
+    // in-process test can't cover: the global pool, env parsing, and
+    // process-level state.
+    let exe = std::env::current_exe().expect("test binary path");
+    let run = |threads: &str| -> String {
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "emit_ablation_digest_when_asked", "--nocapture"])
+            .env("A4A_EMIT_DIGEST", "1")
+            .env("A4A_PROP_SEED", "c0ffee")
+            .env("A4A_THREADS", threads)
+            .output()
+            .expect("re-exec test binary");
+        assert!(out.status.success(), "child (A4A_THREADS={threads}) failed");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // The digest can share a line with libtest's `test name ...`
+        // prefix under --nocapture, so match anywhere in the line.
+        stdout
+            .lines()
+            .find_map(|l| l.find("A4A_DIGEST ").map(|i| &l[i + "A4A_DIGEST ".len()..]))
+            .unwrap_or_else(|| panic!("no digest line in child output:\n{stdout}"))
+            .to_string()
+    };
+    let d1 = run("1");
+    let d2 = run("2");
+    let d8 = run("8");
+    assert_eq!(d1, d2, "process digests differ between 1 and 2 threads");
+    assert_eq!(d1, d8, "process digests differ between 1 and 8 threads");
 }
 
 #[test]

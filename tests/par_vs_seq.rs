@@ -1,0 +1,260 @@
+//! Differential suite: parallel state-graph construction and Petri-net
+//! reachability must be *bit-identical* to the sequential baseline —
+//! same state counts, same codes, same state numbering, same edge
+//! order, same verification verdicts — for every thread count.
+//!
+//! The corpus is every STG this repo ships (the controller modules, the
+//! composed token ring, the A2A element zoo) plus randomly generated
+//! handshake pipelines from `a4a_rt::prop`. `ci.sh` re-runs the whole
+//! file at `A4A_THREADS=1`, `2`, and `8`, which additionally routes the
+//! default `state_graph`/`explore` entry points (global pool) through
+//! each thread count.
+
+use a4a_petri::{Marking, NetBuilder, PetriNet};
+use a4a_rt::Pool;
+use a4a_stg::{prop_support, StateGraph, Stg};
+
+/// Thread counts compared against the sequential pool-of-1 baseline.
+const THREADS: [usize; 2] = [2, 8];
+
+/// Asserts two state graphs are identical in every observable: count,
+/// numbering (marking per id), codes, successor lists, and traces.
+fn assert_sg_identical(label: &str, seq: &StateGraph, par: &StateGraph) {
+    assert_eq!(
+        seq.state_count(),
+        par.state_count(),
+        "{label}: state count differs"
+    );
+    assert_eq!(seq.edge_count(), par.edge_count(), "{label}: edge count");
+    for s in seq.state_ids() {
+        assert_eq!(seq.marking(s), par.marking(s), "{label}: marking of {s}");
+        assert_eq!(seq.code(s), par.code(s), "{label}: code of {s}");
+        assert_eq!(
+            seq.successors(s),
+            par.successors(s),
+            "{label}: successors of {s}"
+        );
+        assert_eq!(seq.trace_to(s), par.trace_to(s), "{label}: trace to {s}");
+    }
+}
+
+/// Builds the state graph sequentially and on each parallel pool, and
+/// checks graphs plus verification verdicts match.
+fn check_stg(label: &str, stg: &Stg, max_states: usize) {
+    let seq_pool = Pool::new(1);
+    let seq = stg
+        .state_graph_with(&seq_pool, max_states)
+        .unwrap_or_else(|e| panic!("{label}: sequential build failed: {e}"));
+    let seq_report = stg.verify(&seq);
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        let par = stg
+            .state_graph_with(&pool, max_states)
+            .unwrap_or_else(|e| panic!("{label}: parallel({threads}) build failed: {e}"));
+        assert_sg_identical(&format!("{label} t{threads}"), &seq, &par);
+        let par_report = stg.verify(&par);
+        assert_eq!(
+            seq_report.deadlocks, par_report.deadlocks,
+            "{label} t{threads}: deadlock verdicts"
+        );
+        assert_eq!(
+            seq_report.persistence, par_report.persistence,
+            "{label} t{threads}: persistence verdicts"
+        );
+        assert_eq!(
+            seq_report.coding, par_report.coding,
+            "{label} t{threads}: coding verdicts"
+        );
+        assert_eq!(
+            seq_report.is_clean(),
+            par_report.is_clean(),
+            "{label} t{threads}: clean verdict"
+        );
+    }
+}
+
+/// Same comparison for raw Petri-net reachability.
+fn check_net(label: &str, net: &PetriNet, max_states: usize) {
+    let seq_pool = Pool::new(1);
+    let seq = net
+        .explore_with(&seq_pool, net.initial_marking(), max_states)
+        .unwrap_or_else(|e| panic!("{label}: sequential explore failed: {e}"));
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        let par = net
+            .explore_with(&pool, net.initial_marking(), max_states)
+            .unwrap_or_else(|e| panic!("{label}: parallel({threads}) explore failed: {e}"));
+        assert_eq!(seq.state_count(), par.state_count(), "{label} t{threads}");
+        assert_eq!(seq.edge_count(), par.edge_count(), "{label} t{threads}");
+        for s in seq.state_ids() {
+            assert_eq!(seq.marking(s), par.marking(s), "{label} t{threads}: {s}");
+            assert_eq!(
+                seq.successors(s),
+                par.successors(s),
+                "{label} t{threads}: {s}"
+            );
+        }
+        assert_eq!(seq.deadlocks(), par.deadlocks(), "{label} t{threads}");
+        assert_eq!(seq.is_safe(), par.is_safe(), "{label} t{threads}");
+        assert_eq!(seq.bound(), par.bound(), "{label} t{threads}");
+    }
+}
+
+#[test]
+fn controller_modules_par_vs_seq() {
+    for (name, stg) in a4a_ctrl::stgs::all_module_stgs() {
+        check_stg(name, &stg, 500_000);
+        check_net(name, stg.net(), 500_000);
+    }
+}
+
+#[test]
+fn a2a_zoo_par_vs_seq() {
+    for (name, stg) in a4a_a2a::spec::all_specs() {
+        check_stg(name, &stg, 500_000);
+    }
+}
+
+#[test]
+fn token_ring_par_vs_seq() {
+    // The composed ring is the widest state space in the repo — the
+    // case where frontier expansion actually fans out to the workers.
+    let ring = a4a_ctrl::stgs::token_ring_stg();
+    check_stg("token_ring", &ring, 500_000);
+}
+
+#[test]
+fn random_pipelines_par_vs_seq() {
+    a4a_rt::prop::check_with(
+        &a4a_rt::Config::with_cases(24),
+        "random_pipelines_par_vs_seq",
+        |g| {
+            let n = g.usize(1..9);
+            let mask = g.u64(0..1 << n);
+            let stg = prop_support::pipeline_stg(n, mask);
+            check_stg(&format!("pipeline n={n} mask={mask:#b}"), &stg, 100_000);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn composed_pipelines_par_vs_seq() {
+    // Two independent pipelines composed share no signals, so the
+    // product state space is wide (2n * 2m states) — a better stress of
+    // per-level parallelism than a single ring.
+    a4a_rt::prop::check_with(
+        &a4a_rt::Config::with_cases(8),
+        "composed_pipelines_par_vs_seq",
+        |g| {
+            let n = g.usize(2..6);
+            let m = g.usize(2..6);
+            let a = prop_support::pipeline_stg_with_prefix(n, g.any_u64(), "a");
+            let b = prop_support::pipeline_stg_with_prefix(m, g.any_u64(), "b");
+            let ab = a.compose(&b).map_err(|e| {
+                a4a_rt::PropError::Fail(format!("compose failed: {e}"))
+            })?;
+            check_stg(&format!("composed n={n} m={m}"), &ab, 200_000);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn state_limit_trips_identically() {
+    // The limit error must fire at the same discovery index for every
+    // thread count.
+    let ring = a4a_ctrl::stgs::token_ring_stg();
+    let seq = ring.state_graph_with(&Pool::new(1), 10).unwrap_err();
+    for threads in THREADS {
+        let par = ring.state_graph_with(&Pool::new(threads), 10).unwrap_err();
+        assert_eq!(format!("{seq}"), format!("{par}"), "t{threads}");
+    }
+}
+
+#[test]
+fn inconsistency_error_is_identical() {
+    // An STG wide enough to hit the parallel path, with an inconsistent
+    // signal buried in it: the reported transition and trace must not
+    // depend on the thread count.
+    let mut b = a4a_stg::StgBuilder::new("bad_wide");
+    // Eight independent toggles make the second BFS level 8 states wide.
+    let mut firsts = Vec::new();
+    for i in 0..8 {
+        let s = b.input(format!("x{i}"), false);
+        let up = b.rise(s);
+        let down = b.fall(s);
+        b.connect_marked(down, up);
+        b.connect(up, down);
+        firsts.push(up);
+    }
+    // An inconsistent pair: two rises of the same signal in a cycle.
+    let bad = b.input("bad", false);
+    let r1 = b.rise(bad);
+    let r2 = b.rise(bad);
+    b.connect_marked(r2, r1);
+    b.connect(r1, r2);
+    let stg = b.build();
+    let seq = stg.state_graph_with(&Pool::new(1), 100_000).unwrap_err();
+    for threads in THREADS {
+        let par = stg
+            .state_graph_with(&Pool::new(threads), 100_000)
+            .unwrap_err();
+        assert_eq!(format!("{seq}"), format!("{par}"), "t{threads}");
+    }
+}
+
+#[test]
+fn unbounded_net_limit_identical() {
+    let mut b = NetBuilder::new();
+    let p = b.place_with_tokens("p", 1);
+    let t = b.transition("t");
+    b.arc_read(p, t);
+    b.arc_tp(t, p);
+    let net = b.build();
+    let seq = net
+        .explore_with(&Pool::new(1), net.initial_marking(), 16)
+        .unwrap_err();
+    for threads in THREADS {
+        let par = net
+            .explore_with(&Pool::new(threads), net.initial_marking(), 16)
+            .unwrap_err();
+        assert_eq!(seq, par, "t{threads}");
+    }
+}
+
+#[test]
+fn explore_from_arbitrary_marking_par_vs_seq() {
+    let ring = a4a_ctrl::stgs::token_ring_stg();
+    let net = ring.net();
+    // Walk a few steps from the initial marking, then explore from
+    // there on every pool.
+    let mut m = net.initial_marking();
+    for _ in 0..3 {
+        let Some(t) = net.transition_ids().find(|&t| net.is_enabled(t, &m)) else {
+            break;
+        };
+        m = net.fire(t, &m);
+    }
+    let seq = net
+        .explore_with(&Pool::new(1), m.clone(), 500_000)
+        .unwrap();
+    for threads in THREADS {
+        let par = net
+            .explore_with(&Pool::new(threads), m.clone(), 500_000)
+            .unwrap();
+        assert_eq!(seq.state_count(), par.state_count(), "t{threads}");
+        for s in seq.state_ids() {
+            assert_eq!(seq.marking(s), par.marking(s), "t{threads}: {s}");
+            assert_eq!(seq.successors(s), par.successors(s), "t{threads}: {s}");
+        }
+    }
+}
+
+/// Keeps `Marking` in the public-surface contract this suite relies on.
+#[test]
+fn marking_equality_is_structural() {
+    let a = Marking::new(vec![1, 0, 2]);
+    let b = Marking::new(vec![1, 0, 2]);
+    assert_eq!(a, b);
+}
