@@ -1,5 +1,7 @@
 use std::fmt;
 
+use a4a_sim::SimError;
+
 use crate::CoilModel;
 
 /// Conduction state of one phase's power stage.
@@ -102,17 +104,53 @@ impl Buck {
     /// # Panics
     ///
     /// Panics if the parameter set is non-physical (no phases,
-    /// non-positive component values).
+    /// non-positive or non-finite component values); see
+    /// [`Buck::try_new`] for the fallible variant.
     pub fn new(params: BuckParams) -> Self {
-        assert!(params.phases > 0, "at least one phase required");
-        assert!(
-            params.vin > 0.0
-                && params.cap > 0.0
-                && params.rload > 0.0
-                && params.coil.inductance > 0.0,
-            "component values must be positive"
-        );
-        Buck {
+        match Self::try_new(params) {
+            Ok(buck) => buck,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Buck::new`]: a non-physical parameter set — zero
+    /// phases, or any NaN, infinite, or wrong-sign component value — is
+    /// reported as [`SimError::InvalidParameter`] naming the offending
+    /// field. Note that NaN fails every comparison, so an `assert!(x >
+    /// 0.0)`-style check catches it too; the explicit finiteness checks
+    /// here additionally reject infinities and cover the fields
+    /// (on-resistances, diode drop, coil resistances) that may be zero.
+    pub fn try_new(params: BuckParams) -> Result<Self, SimError> {
+        if params.phases == 0 {
+            return Err(SimError::InvalidParameter {
+                what: "phase count",
+                value: 0.0,
+            });
+        }
+        let positive = [
+            ("vin (V)", params.vin),
+            ("cap (F)", params.cap),
+            ("rload (Ohm)", params.rload),
+            ("coil inductance (H)", params.coil.inductance),
+        ];
+        for (what, value) in positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(SimError::InvalidParameter { what, value });
+            }
+        }
+        let non_negative = [
+            ("rdson_p (Ohm)", params.rdson_p),
+            ("rdson_n (Ohm)", params.rdson_n),
+            ("vdiode (V)", params.vdiode),
+            ("coil dcr (Ohm)", params.coil.dcr),
+            ("coil esr_hf (Ohm)", params.coil.esr_hf),
+        ];
+        for (what, value) in non_negative {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(SimError::InvalidParameter { what, value });
+            }
+        }
+        Ok(Buck {
             switches: vec![SwitchState::Off; params.phases],
             current: vec![0.0; params.phases],
             voltage: 0.0,
@@ -120,7 +158,7 @@ impl Buck {
             time: 0.0,
             energy_in: 0.0,
             energy_out: 0.0,
-        }
+        })
     }
 
     /// The parameter set.
@@ -185,29 +223,67 @@ impl Buck {
     ///
     /// Panics if both transistors are commanded on — the short-circuit
     /// condition the controllers are formally verified to exclude — or if
-    /// `phase` is out of range.
+    /// `phase` is out of range. See [`Buck::try_set_switch`] for the
+    /// fallible variant.
     pub fn set_switch(&mut self, phase: usize, pmos_on: bool, nmos_on: bool) {
-        assert!(
-            !(pmos_on && nmos_on),
-            "short circuit: PMOS and NMOS of phase {phase} driven on simultaneously at t={}s",
-            self.time
-        );
+        if let Err(e) = self.try_set_switch(phase, pmos_on, nmos_on) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Buck::set_switch`]: a simultaneous-on command is
+    /// reported as [`SimError::ShortCircuit`] and an out-of-range phase
+    /// as [`SimError::PhaseOutOfRange`]; the switch state is unchanged
+    /// on error.
+    pub fn try_set_switch(
+        &mut self,
+        phase: usize,
+        pmos_on: bool,
+        nmos_on: bool,
+    ) -> Result<(), SimError> {
+        if phase >= self.params.phases {
+            return Err(SimError::PhaseOutOfRange {
+                phase,
+                phases: self.params.phases,
+            });
+        }
         self.switches[phase] = match (pmos_on, nmos_on) {
             (true, false) => SwitchState::PmosOn,
             (false, true) => SwitchState::NmosOn,
             (false, false) => SwitchState::Off,
-            (true, true) => unreachable!(),
+            (true, true) => {
+                return Err(SimError::ShortCircuit {
+                    phase,
+                    at_secs: self.time,
+                })
+            }
         };
+        Ok(())
     }
 
     /// Steps the load resistance (the high-load events of Figure 6).
     ///
     /// # Panics
     ///
-    /// Panics on a non-positive resistance.
+    /// Panics on a non-positive or non-finite resistance; see
+    /// [`Buck::try_set_load`] for the fallible variant.
     pub fn set_load(&mut self, rload: f64) {
-        assert!(rload > 0.0, "load must be positive");
+        if let Err(e) = self.try_set_load(rload) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Buck::set_load`]: NaN, infinite, and non-positive
+    /// resistances are reported as [`SimError::InvalidParameter`].
+    pub fn try_set_load(&mut self, rload: f64) -> Result<(), SimError> {
+        if !(rload.is_finite() && rload > 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "rload (Ohm)",
+                value: rload,
+            });
+        }
         self.params.rload = rload;
+        Ok(())
     }
 
     /// Advances the model by `dt` seconds (explicit midpoint rule with
@@ -215,9 +291,38 @@ impl Buck {
     ///
     /// # Panics
     ///
-    /// Panics on a non-positive or non-finite step.
+    /// Panics on a non-positive or non-finite step, or when the
+    /// integration diverges; see [`Buck::try_step`] for the fallible
+    /// variant.
     pub fn step(&mut self, dt: f64) {
-        assert!(dt > 0.0 && dt.is_finite(), "bad step {dt}");
+        if let Err(e) = self.try_step(dt) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Buck::step`]: a NaN, infinite, or non-positive `dt` is
+    /// reported as [`SimError::InvalidParameter`] without touching the
+    /// state; a step large enough to blow the explicit integration up to
+    /// a non-finite state is reported as [`SimError::NonFinite`], after
+    /// which the model is poisoned and must be discarded.
+    pub fn try_step(&mut self, dt: f64) -> Result<(), SimError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "step dt (s)",
+                value: dt,
+            });
+        }
+        self.integrate(dt);
+        if !self.voltage.is_finite() || self.current.iter().any(|i| !i.is_finite()) {
+            return Err(SimError::NonFinite {
+                what: "buck state",
+                at_secs: self.time,
+            });
+        }
+        Ok(())
+    }
+
+    fn integrate(&mut self, dt: f64) {
         let n = self.params.phases;
         // k1 at the current state.
         let mut k1_i = vec![0.0; n];
@@ -423,7 +528,10 @@ mod tests {
         let run = |dt: f64| -> (f64, f64) {
             let mut b = buck();
             b.set_switch(0, true, false);
-            let steps = (2e-6 / dt) as usize;
+            // Round, don't truncate: a dt that doesn't divide the window
+            // exactly would silently shorten the simulated duration and
+            // skew the two runs being compared.
+            let steps = (2e-6 / dt).round() as usize;
             for _ in 0..steps {
                 b.step(dt);
             }
@@ -449,9 +557,101 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one phase")]
+    #[should_panic(expected = "phase count")]
     fn zero_phases_rejected() {
         let _ = Buck::new(BuckParams::default().with_phases(0));
+    }
+
+    #[test]
+    fn try_new_rejects_non_physical_params() {
+        for bad in [f64::NAN, 0.0, -5.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut p = BuckParams::default();
+            p.vin = bad;
+            assert!(
+                matches!(
+                    Buck::try_new(p),
+                    Err(SimError::InvalidParameter { what: "vin (V)", .. })
+                ),
+                "vin = {bad} accepted"
+            );
+        }
+        let mut p = BuckParams::default();
+        p.rdson_p = f64::NAN;
+        assert!(matches!(
+            Buck::try_new(p),
+            Err(SimError::InvalidParameter {
+                what: "rdson_p (Ohm)",
+                ..
+            })
+        ));
+        let mut p = BuckParams::default();
+        p.coil.dcr = -0.1;
+        assert!(Buck::try_new(p).is_err());
+        assert!(Buck::try_new(BuckParams::default()).is_ok());
+    }
+
+    #[test]
+    fn try_step_rejects_bad_dt_without_mutating() {
+        let mut b = buck();
+        b.set_switch(0, true, false);
+        b.step(1e-9);
+        let v = b.output_voltage();
+        let t = b.time();
+        for bad in [f64::NAN, 0.0, -1e-9, f64::INFINITY] {
+            assert!(matches!(
+                b.try_step(bad),
+                Err(SimError::InvalidParameter { what: "step dt (s)", .. })
+            ));
+        }
+        assert_eq!(b.output_voltage(), v, "failed step must not mutate");
+        assert_eq!(b.time(), t);
+    }
+
+    #[test]
+    fn try_step_reports_divergence_as_non_finite() {
+        // An absurd step makes the explicit midpoint rule explode; the
+        // typed path reports it instead of silently carrying inf/NaN.
+        let mut b = buck();
+        b.set_switch(0, true, false);
+        let mut diverged = false;
+        for _ in 0..50 {
+            match b.try_step(1.0) {
+                Ok(()) => {}
+                Err(SimError::NonFinite { .. }) => {
+                    diverged = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(diverged, "1 s steps on a nanosecond-scale plant must diverge");
+    }
+
+    #[test]
+    fn try_set_switch_reports_short_and_range() {
+        let mut b = buck();
+        assert!(matches!(
+            b.try_set_switch(0, true, true),
+            Err(SimError::ShortCircuit { phase: 0, .. })
+        ));
+        assert_eq!(b.switch(0), SwitchState::Off, "state unchanged on error");
+        assert!(matches!(
+            b.try_set_switch(99, true, false),
+            Err(SimError::PhaseOutOfRange { phase: 99, phases: 4 })
+        ));
+        assert!(b.try_set_switch(1, false, true).is_ok());
+        assert_eq!(b.switch(1), SwitchState::NmosOn);
+    }
+
+    #[test]
+    fn try_set_load_rejects_nan_and_negative() {
+        let mut b = buck();
+        for bad in [f64::NAN, 0.0, -3.0, f64::INFINITY] {
+            assert!(b.try_set_load(bad).is_err(), "{bad} accepted");
+        }
+        assert_eq!(b.params().rload, 6.0, "load unchanged after rejects");
+        assert!(b.try_set_load(3.6).is_ok());
+        assert_eq!(b.params().rload, 3.6);
     }
 }
 

@@ -1,15 +1,25 @@
 //! The paper's measurements over recorded waveforms: voltage ripple,
 //! inductor peak current, RMS decomposition, and coil conduction losses.
+//!
+//! NaN handling: a NaN sample poisons every metric over the record to
+//! NaN. `f64::min`/`f64::max` silently *drop* NaN operands, so the
+//! extremum-based metrics ([`voltage_ripple`], [`peak_current`]) check
+//! explicitly — a corrupted record must never masquerade as a clean
+//! measurement (the sum-based metrics propagate NaN naturally).
 
 use crate::{CoilModel, Waveform};
 
-/// Peak-to-peak output-voltage ripple over the record (V).
+/// Peak-to-peak output-voltage ripple over the record (V); NaN when any
+/// voltage sample is NaN.
 ///
 /// Figure 6 quotes this for the normal-load window: 0.43 V synchronous
 /// vs 0.36 V asynchronous.
 pub fn voltage_ripple(w: &Waveform) -> f64 {
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in &w.v {
+        if v.is_nan() {
+            return f64::NAN;
+        }
         lo = lo.min(v);
         hi = hi.max(v);
     }
@@ -29,11 +39,17 @@ pub fn mean_voltage(w: &Waveform) -> f64 {
 }
 
 /// The largest absolute coil current over all phases (A) — the
-/// "inductor peak current" of Figures 7a/7b.
+/// "inductor peak current" of Figures 7a/7b; NaN when any current
+/// sample is NaN.
 pub fn peak_current(w: &Waveform) -> f64 {
-    w.i.iter()
-        .flat_map(|phase| phase.iter())
-        .fold(0.0f64, |acc, &x| acc.max(x.abs()))
+    let mut peak = 0.0f64;
+    for &x in w.i.iter().flat_map(|phase| phase.iter()) {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        peak = peak.max(x.abs());
+    }
+    peak
 }
 
 /// RMS of one phase's coil current (A).
@@ -72,6 +88,10 @@ pub fn dc_current(w: &Waveform, phase: usize) -> f64 {
 pub fn ac_rms_current(w: &Waveform, phase: usize) -> f64 {
     let rms = rms_current(w, phase);
     let dc = dc_current(w, phase);
+    if rms.is_nan() || dc.is_nan() {
+        // `.max(0.0)` below would silently launder NaN into 0.
+        return f64::NAN;
+    }
     (rms * rms - dc * dc).max(0.0).sqrt()
 }
 
@@ -145,6 +165,25 @@ mod tests {
         let p_large = inductor_losses(&w, &large);
         assert!(p_small > 0.0);
         assert!(p_large > p_small, "same waveform, lossier coil");
+    }
+
+    #[test]
+    fn nan_sample_poisons_extremum_metrics() {
+        // Regression: `f64::min`/`f64::max` drop NaN operands, so a
+        // single corrupted sample used to vanish from ripple and peak
+        // current instead of flagging the record.
+        let mut w = triangle_wave();
+        w.v[500] = f64::NAN;
+        assert!(voltage_ripple(&w).is_nan(), "NaN voltage must poison ripple");
+        assert!(mean_voltage(&w).is_nan());
+        let mut w = triangle_wave();
+        w.i[1][3] = f64::NAN;
+        assert!(peak_current(&w).is_nan(), "NaN current must poison peak");
+        assert!(rms_current(&w, 1).is_nan());
+        assert!(dc_current(&w, 1).is_nan());
+        assert!(ac_rms_current(&w, 1).is_nan());
+        // The untouched phase still measures clean.
+        assert!(!rms_current(&w, 0).is_nan());
     }
 
     #[test]

@@ -231,8 +231,11 @@ pub struct Fig6Run {
 /// Runs the Figure 6 scenario for one controller kind.
 pub fn fig6_run(kind: ControllerKind) -> Fig6Run {
     let ctrl = scenario::controller(kind, 4);
-    let mut tb = scenario::fig6().build(ctrl);
-    tb.run_until(scenario::FIG6_T_END);
+    let mut tb = scenario::fig6()
+        .try_build(ctrl)
+        .expect("fig6 scenario must configure a valid testbench");
+    tb.try_run_until(scenario::FIG6_T_END)
+        .expect("fig6 co-simulation must not diverge");
     let short_circuits = tb.short_circuits();
     let efficiency = tb.buck().efficiency();
     let waveform = tb.into_waveform();
@@ -274,8 +277,11 @@ pub struct SweepPoint {
 
 fn run_sweep_point(builder: TestbenchBuilder, kind: ControllerKind) -> Waveform {
     let ctrl = scenario::controller(kind, 4);
-    let mut tb = builder.build(ctrl);
-    tb.run_until(8e-6);
+    let mut tb = builder
+        .try_build(ctrl)
+        .expect("sweep point must configure a valid testbench");
+    tb.try_run_until(8e-6)
+        .expect("sweep co-simulation must not diverge");
     assert_eq!(tb.short_circuits(), 0, "{}: short circuit", kind.label());
     tb.into_waveform()
 }

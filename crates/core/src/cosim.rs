@@ -9,7 +9,7 @@
 
 use a4a_analog::{Buck, BuckParams, SensorBank, SensorEvent, SensorThresholds, Waveform};
 use a4a_ctrl::{BuckController, Command, GateTiming, TimedCommand};
-use a4a_sim::Time;
+use a4a_sim::{SimError, Time};
 
 /// Pending digital side effects travelling through the gate drivers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,13 +66,10 @@ impl TestbenchBuilder {
         self
     }
 
-    /// Sets the maximum analog step (default 0.5 ns).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a non-positive step.
+    /// Sets the maximum analog step (default 0.5 ns). The value is
+    /// validated at [`TestbenchBuilder::build`] time, so adversarial
+    /// configurations surface as a typed error rather than a panic.
     pub fn dt(mut self, dt: f64) -> Self {
-        assert!(dt > 0.0, "step must be positive");
         self.dt = dt;
         self
     }
@@ -80,38 +77,81 @@ impl TestbenchBuilder {
     /// Records an analog sample every `n`·dt of simulated time (default
     /// 4). Sampling on a fixed time grid keeps the recorded waveform
     /// uniform even though the integration windows shrink at digital
-    /// event boundaries — RMS-based metrics depend on this.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `n` is zero.
+    /// event boundaries — RMS-based metrics depend on this. Validated at
+    /// [`TestbenchBuilder::build`] time.
     pub fn record_every(mut self, n: usize) -> Self {
-        assert!(n > 0, "decimation must be positive");
         self.record_every = n;
         self
     }
 
-    /// Schedules a load-resistance step at an absolute time.
+    /// Schedules a load-resistance step at an absolute time. Validated
+    /// at [`TestbenchBuilder::build`] time.
     pub fn load_step(mut self, at: f64, rload: f64) -> Self {
         self.load_steps.push((at, rload));
         self
     }
 
     /// Finalises with the given controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid; see
+    /// [`TestbenchBuilder::try_build`] for the fallible variant.
     pub fn build<C: BuckController>(self, ctrl: C) -> Testbench<C> {
+        match self.try_build(ctrl) {
+            Ok(tb) => tb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`TestbenchBuilder::build`]: validates the whole
+    /// configuration — power-stage parameters (via [`Buck::try_new`]),
+    /// controller/power-stage phase agreement, the analog step, the
+    /// record decimation, and every scheduled load step — reporting the
+    /// first violation as a [`SimError`].
+    pub fn try_build<C: BuckController>(self, ctrl: C) -> Result<Testbench<C>, SimError> {
         let phases = ctrl.phases();
-        assert_eq!(
-            phases, self.params.phases,
-            "controller and power stage disagree on phase count"
-        );
+        if phases != self.params.phases {
+            return Err(SimError::PhaseMismatch {
+                controller: phases,
+                power_stage: self.params.phases,
+            });
+        }
+        if !(self.dt.is_finite() && self.dt > 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "analog step dt (s)",
+                value: self.dt,
+            });
+        }
+        if self.record_every == 0 {
+            return Err(SimError::InvalidParameter {
+                what: "record decimation",
+                value: 0.0,
+            });
+        }
+        for &(at, rload) in &self.load_steps {
+            if !(at.is_finite() && at >= 0.0) {
+                return Err(SimError::InvalidParameter {
+                    what: "load-step time (s)",
+                    value: at,
+                });
+            }
+            if !(rload.is_finite() && rload > 0.0) {
+                return Err(SimError::InvalidParameter {
+                    what: "load-step rload (Ohm)",
+                    value: rload,
+                });
+            }
+        }
+        let buck = Buck::try_new(self.params)?;
         let mut pending: Vec<(f64, PendKind)> = self
             .load_steps
             .iter()
             .map(|&(at, r)| (at, PendKind::LoadStep(r)))
             .collect();
         pending.sort_by(|a, b| a.0.total_cmp(&b.0));
-        Testbench {
-            buck: Buck::new(self.params),
+        Ok(Testbench {
+            buck,
             sensors: SensorBank::new(phases, self.thresholds),
             ctrl,
             gate_timing: self.gate_timing,
@@ -125,7 +165,7 @@ impl TestbenchBuilder {
             short_circuits: 0,
             last_delivered: Time::ZERO,
             debug_tracks: Vec::new(),
-        }
+        })
     }
 }
 
@@ -214,7 +254,29 @@ impl<C: BuckController> Testbench<C> {
     }
 
     /// Runs the co-simulation until `t_end` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `t_end` or when the analog integration
+    /// diverges; see [`Testbench::try_run_until`] for the fallible
+    /// variant.
     pub fn run_until(&mut self, t_end: f64) {
+        if let Err(e) = self.try_run_until(t_end) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Testbench::run_until`]: rejects a NaN `t_end` as
+    /// [`SimError::InvalidParameter`] and propagates any integration
+    /// failure ([`SimError::NonFinite`]) from the analog stage instead
+    /// of panicking mid-run.
+    pub fn try_run_until(&mut self, t_end: f64) -> Result<(), SimError> {
+        if t_end.is_nan() {
+            return Err(SimError::InvalidParameter {
+                what: "t_end (s)",
+                value: t_end,
+            });
+        }
         while self.buck.time() < t_end {
             let t = self.buck.time();
             // Window end: the earliest of max-step, pending side effects,
@@ -236,7 +298,7 @@ impl<C: BuckController> Testbench<C> {
             }
 
             // 1. Integrate the analog stage over the window.
-            self.buck.step(tn - t);
+            self.buck.try_step(tn - t)?;
 
             // 2. Comparator events from the window.
             let currents: Vec<f64> = (0..self.buck.params().phases)
@@ -281,6 +343,7 @@ impl<C: BuckController> Testbench<C> {
                 self.next_sample_at = (tn / period).floor() * period + period;
             }
         }
+        Ok(())
     }
 
     fn deliver(&mut self, mut events: Vec<SensorEvent>, tn: f64) {
@@ -502,6 +565,84 @@ mod tests {
     fn phase_mismatch_rejected() {
         let ctrl = AsyncController::new(2, AsyncTiming::default());
         let _ = TestbenchBuilder::new().build(ctrl);
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        use a4a_sim::SimError;
+
+        let ctrl = AsyncController::new(2, AsyncTiming::default());
+        assert!(matches!(
+            TestbenchBuilder::new().try_build(ctrl),
+            Err(SimError::PhaseMismatch {
+                controller: 2,
+                power_stage: 4
+            })
+        ));
+
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        assert!(matches!(
+            TestbenchBuilder::new().dt(f64::NAN).try_build(ctrl),
+            Err(SimError::InvalidParameter {
+                what: "analog step dt (s)",
+                ..
+            })
+        ));
+
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        assert!(matches!(
+            TestbenchBuilder::new().record_every(0).try_build(ctrl),
+            Err(SimError::InvalidParameter {
+                what: "record decimation",
+                ..
+            })
+        ));
+
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        assert!(matches!(
+            TestbenchBuilder::new()
+                .load_step(f64::NAN, 4.0)
+                .try_build(ctrl),
+            Err(SimError::InvalidParameter {
+                what: "load-step time (s)",
+                ..
+            })
+        ));
+
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        assert!(matches!(
+            TestbenchBuilder::new()
+                .load_step(5e-6, -1.0)
+                .try_build(ctrl),
+            Err(SimError::InvalidParameter {
+                what: "load-step rload (Ohm)",
+                ..
+            })
+        ));
+
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        let mut params = BuckParams::default();
+        params.cap = f64::NAN;
+        assert!(matches!(
+            TestbenchBuilder::new().params(params).try_build(ctrl),
+            Err(SimError::InvalidParameter { what: "cap (F)", .. })
+        ));
+    }
+
+    #[test]
+    fn try_run_until_rejects_nan_and_keeps_working() {
+        use a4a_sim::SimError;
+
+        let ctrl = AsyncController::new(4, AsyncTiming::default());
+        let mut tb = TestbenchBuilder::new()
+            .try_build(ctrl)
+            .expect("default configuration is valid");
+        assert!(matches!(
+            tb.try_run_until(f64::NAN),
+            Err(SimError::InvalidParameter { what: "t_end (s)", .. })
+        ));
+        tb.try_run_until(2e-6).expect("normal run succeeds");
+        assert!(tb.buck().output_voltage() > 0.0);
     }
 }
 

@@ -2,10 +2,12 @@ use std::error::Error;
 use std::fmt;
 
 use a4a_netlist::verilog;
+use a4a_sim::SimError;
 use a4a_stg::{Stg, VerifyReport};
 use a4a_synth::{synthesize, verify_si, SiReport, SynthError, SynthOptions, SynthStyle, Synthesis};
 
-/// Errors raised by [`A4aFlow::run`].
+/// Errors raised by [`A4aFlow::run`] and by drivers that chain the flow
+/// with the mixed-signal testbench.
 #[derive(Debug, Clone)]
 pub enum FlowError {
     /// The specification failed a sanity check (deadlock, persistence,
@@ -16,6 +18,11 @@ pub enum FlowError {
     },
     /// Synthesis or SI verification failed.
     Synthesis(SynthError),
+    /// The co-simulation stage failed (invalid testbench configuration,
+    /// diverging analog integration, scheduler misuse). Lets `?` carry a
+    /// [`SimError`] from [`crate::TestbenchBuilder::try_build`] /
+    /// [`crate::Testbench::try_run_until`] through a flow-typed driver.
+    Simulation(SimError),
 }
 
 impl fmt::Display for FlowError {
@@ -25,6 +32,7 @@ impl fmt::Display for FlowError {
                 write!(f, "specification failed sanity checks:\n{report}")
             }
             FlowError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            FlowError::Simulation(e) => write!(f, "co-simulation failed: {e}"),
         }
     }
 }
@@ -34,6 +42,12 @@ impl Error for FlowError {}
 impl From<SynthError> for FlowError {
     fn from(e: SynthError) -> Self {
         FlowError::Synthesis(e)
+    }
+}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Simulation(e)
     }
 }
 
@@ -180,6 +194,24 @@ b- a+
         .unwrap();
         let err = A4aFlow::new(stg).run().unwrap_err();
         assert!(matches!(err, FlowError::Specification { .. }), "{err}");
+    }
+
+    #[test]
+    fn sim_errors_convert_into_flow_errors() {
+        // A driver that runs flow → testbench can use `?` throughout.
+        fn driver() -> Result<f64, FlowError> {
+            let stg = a4a_a2a::spec::wait_stg();
+            let _ = A4aFlow::new(stg).run()?;
+            let ctrl = a4a_ctrl::AsyncController::new(4, a4a_ctrl::AsyncTiming::default());
+            let mut tb = crate::TestbenchBuilder::new().try_build(ctrl)?;
+            tb.try_run_until(1e-6)?;
+            Ok(tb.buck().output_voltage())
+        }
+        assert!(driver().unwrap() > 0.0);
+
+        let e: FlowError = SimError::StaleKey.into();
+        assert!(matches!(e, FlowError::Simulation(SimError::StaleKey)));
+        assert!(e.to_string().contains("co-simulation failed"));
     }
 
     #[test]

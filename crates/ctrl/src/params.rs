@@ -62,14 +62,34 @@ pub struct SyncParams {
 
 impl SyncParams {
     /// A controller clocked at `mhz` MHz with 2-flop synchronisers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mhz` is NaN, infinite, or non-positive; see
+    /// [`SyncParams::try_at_mhz`] for the fallible variant.
     pub fn at_mhz(mhz: f64) -> SyncParams {
-        assert!(mhz > 0.0, "clock frequency must be positive");
-        SyncParams {
+        match Self::try_at_mhz(mhz) {
+            Ok(p) => p,
+            Err(e) => panic!("{e} (clock frequency must be positive)"),
+        }
+    }
+
+    /// Fallible [`SyncParams::at_mhz`]: a NaN, infinite, or non-positive
+    /// frequency is reported as
+    /// [`SimError::InvalidParameter`](a4a_sim::SimError::InvalidParameter).
+    pub fn try_at_mhz(mhz: f64) -> Result<SyncParams, a4a_sim::SimError> {
+        if !(mhz.is_finite() && mhz > 0.0) {
+            return Err(a4a_sim::SimError::InvalidParameter {
+                what: "fsm_clk (MHz)",
+                value: mhz,
+            });
+        }
+        Ok(SyncParams {
             fsm_clk_hz: mhz * 1e6,
             sync_stages: 2,
             meta: a4a_a2a::MetaParams::disabled(),
             policy: PolicyTiming::default(),
-        }
+        })
     }
 
     /// Enables the synchroniser metastability model.
@@ -208,5 +228,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_clock_rejected() {
         let _ = SyncParams::at_mhz(0.0);
+    }
+
+    #[test]
+    fn try_at_mhz_rejects_nan_and_non_positive() {
+        use a4a_sim::SimError;
+        for bad in [f64::NAN, 0.0, -100.0, f64::INFINITY] {
+            assert!(
+                matches!(
+                    SyncParams::try_at_mhz(bad),
+                    Err(SimError::InvalidParameter {
+                        what: "fsm_clk (MHz)",
+                        ..
+                    })
+                ),
+                "{bad} accepted"
+            );
+        }
+        let p = SyncParams::try_at_mhz(333.0).unwrap();
+        assert_eq!(p, SyncParams::at_mhz(333.0));
     }
 }

@@ -20,8 +20,13 @@
 //!   order-preserving [`pool::Pool::par_map`] keeps parallel results
 //!   bit-identical to the sequential loop — the substrate under the
 //!   parallel reachability engine and the Figure 7 sweeps.
+//! - [`fault`]: seeded adversarial fault plans (SplitMix64 child seeds)
+//!   and hostile-value samplers for the fault-injection tier
+//!   (`tests/fault_injection.rs`), which drives them against the
+//!   scheduler and analog stack asserting typed-error-or-invariant.
 
 pub mod bench;
+pub mod fault;
 pub mod pool;
 pub mod prop;
 pub mod rng;

@@ -1,0 +1,167 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Time;
+
+/// A recoverable simulation failure.
+///
+/// The simulation stack distinguishes *model bugs* (which keep panicking
+/// through the infallible entry points, because continuing would produce
+/// silently wrong physics) from *recoverable conditions* that a driver —
+/// a sweep over user-supplied parameters, the fault-injection tier, a
+/// service endpoint — must be able to observe without unwinding. Every
+/// `try_*` method in `a4a-sim`, `a4a-analog`, `a4a-ctrl`, `a4a-a2a`, and
+/// the `a4a` testbench reports its failure as a `SimError`; the
+/// corresponding panicking wrappers format the same error into their
+/// panic message, so the two paths can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimError {
+    /// An event was scheduled before the scheduler's current time.
+    PastEvent {
+        /// The requested (past) timestamp.
+        time: Time,
+        /// The scheduler's current time.
+        now: Time,
+    },
+    /// A time computation left the representable `u64` femtosecond range.
+    TimeOverflow {
+        /// The operation that overflowed (e.g. `"schedule_after"`).
+        op: &'static str,
+    },
+    /// A floating-point time value was NaN, negative, infinite, or too
+    /// large for the femtosecond range.
+    InvalidTime {
+        /// The offending value, in `unit`s.
+        value: f64,
+        /// The unit the value was given in (`"ns"`, `"ps"`, ...).
+        unit: &'static str,
+    },
+    /// An [`EventKey`](crate::EventKey) was cancelled after its event had
+    /// already been delivered or cancelled.
+    StaleKey,
+    /// A numeric model parameter was rejected (NaN, wrong sign, out of
+    /// range). `what` names the parameter.
+    InvalidParameter {
+        /// The parameter's name, possibly with its unit.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Both power transistors of a phase were commanded on at once.
+    ShortCircuit {
+        /// The offending phase.
+        phase: usize,
+        /// Simulation time of the command (seconds).
+        at_secs: f64,
+    },
+    /// A phase index was out of range for the model it addressed.
+    PhaseOutOfRange {
+        /// The requested phase.
+        phase: usize,
+        /// The number of phases the model has.
+        phases: usize,
+    },
+    /// A controller and a power stage disagree on the phase count.
+    PhaseMismatch {
+        /// Phases the controller drives.
+        controller: usize,
+        /// Phases the power stage has.
+        power_stage: usize,
+    },
+    /// The analog state stopped being finite — the integration diverged
+    /// (e.g. an absurdly large step). The model is poisoned and must be
+    /// discarded.
+    NonFinite {
+        /// What diverged (e.g. `"buck state"`).
+        what: &'static str,
+        /// Simulation time at detection (seconds).
+        at_secs: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PastEvent { time, now } => {
+                write!(f, "event scheduled in the past: {time} < {now}")
+            }
+            SimError::TimeOverflow { op } => {
+                write!(f, "time overflow in {op}")
+            }
+            SimError::InvalidTime { value, unit } => {
+                write!(
+                    f,
+                    "time must be finite, non-negative, and within the \
+                     femtosecond range: got {value}{unit}"
+                )
+            }
+            SimError::StaleKey => {
+                write!(f, "stale event key: already delivered or cancelled")
+            }
+            SimError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            SimError::ShortCircuit { phase, at_secs } => {
+                write!(
+                    f,
+                    "short circuit: PMOS and NMOS of phase {phase} driven on \
+                     simultaneously at t={at_secs}s"
+                )
+            }
+            SimError::PhaseOutOfRange { phase, phases } => {
+                write!(f, "phase {phase} out of range (model has {phases})")
+            }
+            SimError::PhaseMismatch {
+                controller,
+                power_stage,
+            } => {
+                write!(
+                    f,
+                    "controller and power stage disagree on phase count: \
+                     {controller} vs {power_stage}"
+                )
+            }
+            SimError::NonFinite { what, at_secs } => {
+                write!(f, "non-finite {what} at t={at_secs}s: model diverged")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_condition() {
+        let e = SimError::PastEvent {
+            time: Time::ZERO,
+            now: Time::from_fs(5),
+        };
+        assert!(e.to_string().contains("in the past"));
+        assert!(SimError::StaleKey.to_string().contains("stale"));
+        let e = SimError::InvalidTime {
+            value: f64::NAN,
+            unit: "ns",
+        };
+        assert!(e.to_string().contains("non-negative"));
+        let e = SimError::ShortCircuit {
+            phase: 2,
+            at_secs: 1e-6,
+        };
+        assert!(e.to_string().contains("short circuit"));
+        let e = SimError::PhaseMismatch {
+            controller: 2,
+            power_stage: 4,
+        };
+        assert!(e.to_string().contains("disagree on phase count"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(SimError::StaleKey);
+        assert!(e.source().is_none());
+    }
+}

@@ -13,6 +13,11 @@
 //! * [`Scheduler`] — a deterministic discrete-event queue. Events that carry
 //!   the same timestamp are delivered in insertion order, so a simulation
 //!   run is a pure function of its inputs and seeds.
+//! * [`SimError`] — the typed error every fallible `try_*` entry point of
+//!   the simulation stack returns. The panicking wrappers format the same
+//!   error into their panic message; recoverable misuse (past events,
+//!   stale cancellation keys, NaN times, out-of-range values) never needs
+//!   to unwind.
 //!
 //! # Examples
 //!
@@ -29,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod logic;
 mod sched;
 mod time;
 
+pub use error::SimError;
 pub use logic::Logic;
 pub use sched::{EventKey, Scheduler};
 pub use time::Time;

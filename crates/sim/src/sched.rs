@@ -1,7 +1,7 @@
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
-use crate::Time;
+use crate::{SimError, Time};
 
 /// Opaque handle to a scheduled event, used to cancel it.
 ///
@@ -34,7 +34,14 @@ pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Time,
-    cancelled: std::collections::HashSet<u64>,
+    /// Sequence numbers scheduled but neither delivered nor cancelled.
+    /// Membership here is what makes [`Scheduler::cancel`] reject stale
+    /// keys in O(1), and `pending.len()` is the exact pending count —
+    /// the heap may still hold cancelled entries awaiting lazy removal.
+    pending: HashSet<u64>,
+    /// Cancelled-but-not-yet-popped sequence numbers. Always a subset of
+    /// the heap's entries, so it cannot grow unboundedly.
+    cancelled: HashSet<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -73,7 +80,8 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Time::ZERO,
-            cancelled: std::collections::HashSet::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 
@@ -91,22 +99,48 @@ impl<E> Scheduler<E> {
     /// Panics if `time` is earlier than the current simulation time — an
     /// event in the past indicates a model bug.
     pub fn schedule(&mut self, time: Time, event: E) -> EventKey {
-        assert!(
-            time >= self.now,
-            "event scheduled in the past: {} < {}",
-            time,
-            self.now
-        );
+        match self.try_schedule(time, event) {
+            Ok(key) => key,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Scheduler::schedule`]: an event in the past is
+    /// reported as [`SimError::PastEvent`] and the queue is left
+    /// untouched.
+    pub fn try_schedule(&mut self, time: Time, event: E) -> Result<EventKey, SimError> {
+        if time < self.now {
+            return Err(SimError::PastEvent {
+                time,
+                now: self.now,
+            });
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Entry { time, seq, event });
-        EventKey(seq)
+        Ok(EventKey(seq))
     }
 
     /// Schedules `event` at `delay` after the current simulation time.
+    /// The sum saturates at [`Time::MAX`], keeping the "never" sentinel
+    /// valid; use [`Scheduler::try_schedule_after`] to detect overflow.
     pub fn schedule_after(&mut self, delay: Time, event: E) -> EventKey {
         let time = self.now.saturating_add(delay);
         self.schedule(time, event)
+    }
+
+    /// Fallible [`Scheduler::schedule_after`]: reports
+    /// [`SimError::TimeOverflow`] when `now + delay` leaves the
+    /// representable range instead of saturating.
+    pub fn try_schedule_after(&mut self, delay: Time, event: E) -> Result<EventKey, SimError> {
+        let time = self
+            .now
+            .checked_add(delay)
+            .ok_or(SimError::TimeOverflow {
+                op: "schedule_after",
+            })?;
+        self.try_schedule(time, event)
     }
 
     /// Cancels a previously scheduled event.
@@ -114,10 +148,23 @@ impl<E> Scheduler<E> {
     /// Returns `true` if the event was still pending, `false` if it was
     /// already delivered or already cancelled.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= self.next_seq {
-            return false;
+        if self.pending.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
         }
-        self.cancelled.insert(key.0)
+    }
+
+    /// Fallible [`Scheduler::cancel`]: misuse of a key whose event was
+    /// already delivered or cancelled is reported as
+    /// [`SimError::StaleKey`].
+    pub fn try_cancel(&mut self, key: EventKey) -> Result<(), SimError> {
+        if self.cancel(key) {
+            Ok(())
+        } else {
+            Err(SimError::StaleKey)
+        }
     }
 
     /// Removes and returns the earliest pending event, advancing `now`.
@@ -128,6 +175,7 @@ impl<E> Scheduler<E> {
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
+            self.pending.remove(&entry.seq);
             self.now = entry.time;
             return Some((entry.time, entry.event));
         }
@@ -162,12 +210,12 @@ impl<E> Scheduler<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// Returns `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.pending.is_empty()
     }
 }
 
@@ -260,6 +308,70 @@ mod tests {
         assert_eq!(s.len(), 1, "no mutation");
         s.pop();
         assert_eq!(s.next_time(), None);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_rejected_and_len_cannot_underflow() {
+        // Regression: cancelling an already-delivered key used to insert
+        // it into the cancelled set anyway, so `len()` — then computed as
+        // `heap.len() - cancelled.len()` — underflowed and panicked.
+        let mut s = Scheduler::new();
+        let k = s.schedule(Time::from_ns(1.0), "delivered");
+        assert_eq!(s.pop(), Some((Time::from_ns(1.0), "delivered")));
+        assert!(!s.cancel(k), "delivered key must not cancel");
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        // The queue keeps working after the misuse.
+        s.schedule(Time::from_ns(2.0), "next");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop(), Some((Time::from_ns(2.0), "next")));
+    }
+
+    #[test]
+    fn try_cancel_reports_stale_keys() {
+        let mut s = Scheduler::new();
+        let k = s.schedule(Time::from_ns(1.0), ());
+        assert_eq!(s.try_cancel(k), Ok(()));
+        assert_eq!(s.try_cancel(k), Err(SimError::StaleKey));
+        let k2 = s.schedule(Time::from_ns(2.0), ());
+        s.pop();
+        assert_eq!(s.try_cancel(k2), Err(SimError::StaleKey));
+    }
+
+    #[test]
+    fn try_schedule_rejects_past_events_without_mutating() {
+        let mut s = Scheduler::new();
+        s.schedule(Time::from_ns(2.0), 1);
+        s.pop();
+        let err = s.try_schedule(Time::from_ns(1.0), 2).unwrap_err();
+        assert!(matches!(err, SimError::PastEvent { .. }));
+        assert!(s.is_empty(), "failed schedule must not enqueue");
+        // Present-time events are fine.
+        assert!(s.try_schedule(Time::from_ns(2.0), 3).is_ok());
+    }
+
+    #[test]
+    fn try_schedule_after_reports_overflow() {
+        let mut s = Scheduler::new();
+        s.schedule(Time::MAX - Time::from_fs(1), ());
+        s.pop();
+        let err = s.try_schedule_after(Time::from_ns(1.0), ()).unwrap_err();
+        assert_eq!(err, SimError::TimeOverflow { op: "schedule_after" });
+        // The saturating wrapper still lands on the MAX sentinel.
+        let k = s.schedule_after(Time::from_ns(1.0), ());
+        assert_eq!(s.next_time(), Some(Time::MAX));
+        assert!(s.cancel(k));
+    }
+
+    #[test]
+    fn foreign_keys_are_rejected() {
+        let mut a = Scheduler::new();
+        a.schedule(Time::from_ns(1.0), ());
+        let mut b: Scheduler<()> = Scheduler::new();
+        // A key minted by `a` names a sequence number `b` never issued.
+        let k = a.schedule(Time::from_ns(2.0), ());
+        assert!(!b.cancel(k));
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -2,6 +2,8 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+use crate::SimError;
+
 /// A simulation timestamp with femtosecond resolution.
 ///
 /// `Time` wraps an unsigned femtosecond count. Integer timestamps make
@@ -40,44 +42,88 @@ impl Time {
     ///
     /// # Panics
     ///
-    /// Panics if `ps` is negative or not finite.
+    /// Panics if `ps` is NaN, negative, infinite, or out of range; see
+    /// [`Time::try_from_ps`] for the fallible variant.
     pub fn from_ps(ps: f64) -> Self {
-        Self::from_scaled(ps, 1e3)
+        Self::from_scaled(ps, 1e3, "ps")
     }
 
     /// Creates a timestamp from nanoseconds.
     ///
     /// # Panics
     ///
-    /// Panics if `ns` is negative or not finite.
+    /// Panics if `ns` is NaN, negative, infinite, or out of range; see
+    /// [`Time::try_from_ns`] for the fallible variant.
     pub fn from_ns(ns: f64) -> Self {
-        Self::from_scaled(ns, 1e6)
+        Self::from_scaled(ns, 1e6, "ns")
     }
 
     /// Creates a timestamp from microseconds.
     ///
     /// # Panics
     ///
-    /// Panics if `us` is negative or not finite.
+    /// Panics if `us` is NaN, negative, infinite, or out of range; see
+    /// [`Time::try_from_us`] for the fallible variant.
     pub fn from_us(us: f64) -> Self {
-        Self::from_scaled(us, 1e9)
+        Self::from_scaled(us, 1e9, "us")
     }
 
     /// Creates a timestamp from seconds.
     ///
     /// # Panics
     ///
-    /// Panics if `secs` is negative or not finite.
+    /// Panics if `secs` is NaN, negative, infinite, or out of range; see
+    /// [`Time::try_from_secs`] for the fallible variant.
     pub fn from_secs(secs: f64) -> Self {
-        Self::from_scaled(secs, 1e15)
+        Self::from_scaled(secs, 1e15, "s")
     }
 
-    fn from_scaled(value: f64, scale: f64) -> Self {
-        assert!(
-            value.is_finite() && value >= 0.0,
-            "time must be finite and non-negative, got {value}"
-        );
-        Time((value * scale).round() as u64)
+    /// Fallible [`Time::from_ps`]: rejects NaN, negative, infinite, and
+    /// out-of-range values with [`SimError::InvalidTime`] instead of
+    /// panicking.
+    pub fn try_from_ps(ps: f64) -> Result<Self, SimError> {
+        Self::try_from_scaled(ps, 1e3, "ps")
+    }
+
+    /// Fallible [`Time::from_ns`]: rejects NaN, negative, infinite, and
+    /// out-of-range values with [`SimError::InvalidTime`] instead of
+    /// panicking.
+    pub fn try_from_ns(ns: f64) -> Result<Self, SimError> {
+        Self::try_from_scaled(ns, 1e6, "ns")
+    }
+
+    /// Fallible [`Time::from_us`]: rejects NaN, negative, infinite, and
+    /// out-of-range values with [`SimError::InvalidTime`] instead of
+    /// panicking.
+    pub fn try_from_us(us: f64) -> Result<Self, SimError> {
+        Self::try_from_scaled(us, 1e9, "us")
+    }
+
+    /// Fallible [`Time::from_secs`]: rejects NaN, negative, infinite, and
+    /// out-of-range values with [`SimError::InvalidTime`] instead of
+    /// panicking.
+    pub fn try_from_secs(secs: f64) -> Result<Self, SimError> {
+        Self::try_from_scaled(secs, 1e15, "s")
+    }
+
+    fn from_scaled(value: f64, scale: f64, unit: &'static str) -> Self {
+        match Self::try_from_scaled(value, scale, unit) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_from_scaled(value: f64, scale: f64, unit: &'static str) -> Result<Self, SimError> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(SimError::InvalidTime { value, unit });
+        }
+        let fs = (value * scale).round();
+        // `as u64` would silently saturate; 2^64 is the first f64 that no
+        // longer fits (u64::MAX itself is not exactly representable).
+        if fs >= u64::MAX as f64 {
+            return Err(SimError::InvalidTime { value, unit });
+        }
+        Ok(Time(fs as u64))
     }
 
     /// Returns the raw femtosecond count.
@@ -110,6 +156,22 @@ impl Time {
     /// overflowing, so `Time::MAX + dt` stays a valid "never" sentinel.
     pub fn saturating_add(self, other: Time) -> Time {
         Time(self.0.saturating_add(other.0))
+    }
+
+    /// Checked addition: `None` when the sum leaves the `u64`
+    /// femtosecond range (the panicking `+` operator's fallible twin).
+    pub fn checked_add(self, other: Time) -> Option<Time> {
+        self.0.checked_add(other.0).map(Time)
+    }
+
+    /// Checked subtraction: `None` when `other` is later than `self`.
+    pub fn checked_sub(self, other: Time) -> Option<Time> {
+        self.0.checked_sub(other.0).map(Time)
+    }
+
+    /// Checked multiplication by a scalar: `None` on overflow.
+    pub fn checked_mul(self, rhs: u64) -> Option<Time> {
+        self.0.checked_mul(rhs).map(Time)
     }
 }
 
@@ -237,6 +299,58 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_time_panics() {
         let _ = Time::from_ns(-1.0);
+    }
+
+    #[test]
+    fn try_constructors_reject_nan_negative_and_huge() {
+        for bad in [f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY, 1e30] {
+            assert!(
+                matches!(
+                    Time::try_from_ns(bad),
+                    Err(SimError::InvalidTime { unit: "ns", .. })
+                ),
+                "{bad} accepted"
+            );
+        }
+        assert!(matches!(
+            Time::try_from_secs(-0.5),
+            Err(SimError::InvalidTime { unit: "s", .. })
+        ));
+        assert_eq!(Time::try_from_ps(1.0), Ok(Time::from_fs(1_000)));
+    }
+
+    #[test]
+    fn try_and_panicking_constructors_agree_on_valid_input() {
+        for v in [0.0, 1.5, 2.25e3, 17.0] {
+            assert_eq!(Time::try_from_ns(v).unwrap(), Time::from_ns(v));
+            assert_eq!(Time::try_from_us(v).unwrap(), Time::from_us(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_time_panics() {
+        let _ = Time::from_ns(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn overflowing_time_panics() {
+        // 2^64 fs is out of range; before the range check this silently
+        // saturated to u64::MAX via `as u64`.
+        let _ = Time::from_secs(1e5);
+    }
+
+    #[test]
+    fn checked_ops_mirror_operators() {
+        let a = Time::from_ns(2.0);
+        let b = Time::from_ns(3.0);
+        assert_eq!(a.checked_add(b), Some(a + b));
+        assert_eq!(b.checked_sub(a), Some(b - a));
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(Time::MAX.checked_add(Time::from_fs(1)), None);
+        assert_eq!(a.checked_mul(3), Some(a * 3));
+        assert_eq!(Time::MAX.checked_mul(2), None);
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Fault-injection tier: seeded adversarial scenarios against the
+//! discrete-event scheduler, the analog buck, and the mixed-signal
+//! testbench.
+//!
+//! Every scenario comes from `a4a_rt::fault::plans` — a SplitMix64-split
+//! batch of [`FaultPlan`]s, deterministic per master seed. The contract
+//! under test is uniform: an injected fault must either surface as a
+//! typed [`SimError`] or leave the component's invariants intact.
+//! **Library code must never panic** — a panic anywhere in this suite is
+//! a bug in the simulation stack, not in the test.
+//!
+//! Reproduce a run exactly with `A4A_PROP_SEED=<hex u64>`:
+//!
+//! ```text
+//! A4A_PROP_SEED=0xDEAD_BEEF cargo test --test fault_injection
+//! ```
+
+use a4a::TestbenchBuilder;
+use a4a_analog::{Buck, BuckParams};
+use a4a_ctrl::{AsyncController, AsyncTiming};
+use a4a_rt::fault::{self, FaultKind, FaultPlan};
+use a4a_rt::Rng;
+use a4a_sim::{EventKey, Scheduler, SimError, Time};
+
+/// Scenario count — at least 50 per the fault-tier acceptance bar, and a
+/// multiple of `FaultKind::ALL.len()` so every family runs equally often.
+const SCENARIOS: usize = 60;
+
+/// Master seed: `A4A_PROP_SEED` (hex, optional `0x` prefix) or a fixed
+/// default. Same convention as the `a4a_rt::prop` harness, so one env
+/// var replays both tiers.
+fn master_seed() -> u64 {
+    match std::env::var("A4A_PROP_SEED") {
+        Ok(v) => {
+            let v = v.trim().trim_start_matches("0x");
+            u64::from_str_radix(v, 16)
+                .unwrap_or_else(|_| panic!("A4A_PROP_SEED={v:?} is not a hex u64"))
+        }
+        Err(_) => 0xA4A_FA17_5EED,
+    }
+}
+
+#[test]
+fn fault_injection_suite() {
+    let seed = master_seed();
+    let batch = fault::plans(seed, SCENARIOS);
+    assert!(batch.len() >= 50, "fault tier must run at least 50 scenarios");
+    for plan in &batch {
+        run_scenario(plan);
+    }
+}
+
+/// The batch itself is a pure function of the master seed — a rerun with
+/// the same `A4A_PROP_SEED` replays identical scenarios.
+#[test]
+fn fault_plans_replay_deterministically() {
+    let seed = master_seed();
+    assert_eq!(fault::plans(seed, SCENARIOS), fault::plans(seed, SCENARIOS));
+    for kind in FaultKind::ALL {
+        assert!(
+            fault::plans(seed, SCENARIOS).iter().any(|p| p.kind == kind),
+            "{kind:?} not covered by the suite"
+        );
+    }
+}
+
+fn run_scenario(plan: &FaultPlan) {
+    let mut rng = plan.rng();
+    match plan.kind {
+        FaultKind::CancelAfterPop => cancel_after_pop(&mut rng),
+        FaultKind::DoubleCancel => double_cancel(&mut rng),
+        FaultKind::ForeignKey => foreign_key(&mut rng),
+        FaultKind::EqualTimestampFlood => equal_timestamp_flood(&mut rng),
+        FaultKind::NearMaxArithmetic => near_max_arithmetic(&mut rng),
+        FaultKind::PastEvent => past_event(&mut rng),
+        FaultKind::InterleavedChurn => interleaved_churn(&mut rng),
+        FaultKind::NanAnalogParam => nan_analog_param(&mut rng),
+        FaultKind::NegativeAnalogParam => negative_analog_param(&mut rng),
+        FaultKind::HugeAnalogParam => huge_analog_param(&mut rng),
+        FaultKind::BadStep => bad_step(&mut rng),
+        FaultKind::AdversarialTestbench => adversarial_testbench(&mut rng),
+    }
+}
+
+fn random_times(rng: &mut Rng, n: usize) -> Vec<Time> {
+    (0..n).map(|_| Time::from_fs(rng.u64_below(100_000))).collect()
+}
+
+/// Regression for the pre-PR3 `len()` underflow: keys whose events were
+/// already delivered must be rejected by `cancel`, and `len()` must stay
+/// exact through arbitrarily many stale-cancel attempts.
+fn cancel_after_pop(rng: &mut Rng) {
+    let mut sched: Scheduler<u32> = Scheduler::new();
+    let n = 4 + rng.usize_below(24);
+    let keys: Vec<EventKey> = random_times(rng, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| sched.schedule(t, i as u32))
+        .collect();
+    let delivered = 1 + rng.usize_below(n);
+    for _ in 0..delivered {
+        assert!(sched.pop().is_some());
+    }
+    // `pop` delivers in (time, seq) order, not key order — replay which
+    // keys went out by re-deriving the delivery order from the model.
+    // Simpler and airtight: after `delivered` pops, exactly
+    // `n - delivered` keys are live; every cancel of a stale key must
+    // return false without touching `len()`.
+    let mut live = n - delivered;
+    assert_eq!(sched.len(), live);
+    for &key in &keys {
+        let before = sched.len();
+        if sched.cancel(key) {
+            live -= 1;
+            assert_eq!(sched.len(), before - 1);
+        } else {
+            assert_eq!(sched.len(), before, "stale cancel mutated len()");
+            assert!(matches!(sched.try_cancel(key), Err(SimError::StaleKey)));
+        }
+    }
+    assert_eq!(sched.len(), live);
+    // The old implementation panicked (usize underflow) right here.
+    for &key in &keys {
+        assert!(!sched.cancel(key), "second pass must reject everything");
+    }
+    assert_eq!(sched.len(), live);
+    while sched.pop().is_some() {}
+    assert_eq!(sched.len(), 0);
+}
+
+fn double_cancel(rng: &mut Rng) {
+    let mut sched: Scheduler<u32> = Scheduler::new();
+    let keys: Vec<EventKey> = random_times(rng, 8)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| sched.schedule(t, i as u32))
+        .collect();
+    let victim = keys[rng.usize_below(keys.len())];
+    assert!(sched.cancel(victim));
+    assert_eq!(sched.len(), keys.len() - 1);
+    for _ in 0..1 + rng.usize_below(10) {
+        assert!(!sched.cancel(victim), "double cancel must be rejected");
+        assert!(matches!(sched.try_cancel(victim), Err(SimError::StaleKey)));
+        assert_eq!(sched.len(), keys.len() - 1);
+    }
+    let mut popped = 0;
+    while sched.pop().is_some() {
+        popped += 1;
+    }
+    assert_eq!(popped, keys.len() - 1, "cancelled event must not deliver");
+}
+
+fn foreign_key(rng: &mut Rng) {
+    let mut minting: Scheduler<u32> = Scheduler::new();
+    let foreign: Vec<EventKey> = random_times(rng, 12)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| minting.schedule(t, i as u32))
+        .collect();
+    let mut victim: Scheduler<u32> = Scheduler::new();
+    for &key in &foreign {
+        assert!(!victim.cancel(key), "empty scheduler accepted a foreign key");
+        assert!(matches!(victim.try_cancel(key), Err(SimError::StaleKey)));
+    }
+    assert_eq!(victim.len(), 0);
+    assert!(victim.is_empty());
+    // And the victim still works normally afterwards.
+    let k = victim.schedule(Time::from_fs(1), 7);
+    assert!(victim.cancel(k));
+    assert_eq!(victim.len(), 0);
+}
+
+fn equal_timestamp_flood(rng: &mut Rng) {
+    let mut sched: Scheduler<u32> = Scheduler::new();
+    let t = Time::from_fs(rng.u64_below(1_000_000));
+    let n = 16 + rng.usize_below(48);
+    let keys: Vec<EventKey> = (0..n).map(|i| sched.schedule(t, i as u32)).collect();
+    let mut alive: Vec<u32> = (0..n as u32).collect();
+    // Cancel a random subset (possibly none, possibly all).
+    for (i, &key) in keys.iter().enumerate() {
+        if rng.next_f64() < 0.4 {
+            assert!(sched.cancel(key));
+            alive.retain(|&v| v != i as u32);
+        }
+    }
+    assert_eq!(sched.len(), alive.len());
+    // Survivors must come out in FIFO order at exactly t.
+    let mut delivered = Vec::new();
+    while let Some((when, ev)) = sched.pop() {
+        assert_eq!(when, t, "equal-timestamp flood delivered off-time");
+        delivered.push(ev);
+    }
+    assert_eq!(delivered, alive, "FIFO order broken under flood + cancel");
+    assert_eq!(sched.len(), 0);
+}
+
+fn near_max_arithmetic(rng: &mut Rng) {
+    // Time-level checks: arithmetic near the sentinel must saturate (the
+    // operator form) or report (the checked form), never wrap.
+    let a = Time::from_fs(fault::near_max_u64(rng, 1 << 20));
+    let b = Time::from_fs(1 + rng.u64_below(1 << 21));
+    assert_eq!(a.saturating_add(b).as_fs(), a.as_fs().saturating_add(b.as_fs()));
+    assert_eq!(a.checked_add(b), a.as_fs().checked_add(b.as_fs()).map(Time::from_fs));
+
+    // Scheduler-level: advance `now` to within a hair of Time::MAX,
+    // then demand an overflowing relative schedule.
+    let mut sched: Scheduler<u32> = Scheduler::new();
+    let near = Time::from_fs(fault::near_max_u64(rng, 1000));
+    sched.schedule(near, 0);
+    assert_eq!(sched.pop(), Some((near, 0)));
+    assert_eq!(sched.now(), near);
+    let overflow_delay = Time::from_fs(u64::MAX - near.as_fs() + 1 + rng.u64_below(1000));
+    match sched.try_schedule_after(overflow_delay, 1) {
+        Err(SimError::TimeOverflow { .. }) => {}
+        other => panic!("expected TimeOverflow, got {other:?}"),
+    }
+    assert_eq!(sched.len(), 0, "failed schedule must not enqueue");
+    // The panicking wrapper keeps the saturating "never" semantics.
+    let k = sched.schedule_after(overflow_delay, 2);
+    assert_eq!(sched.next_time(), Some(Time::MAX));
+    assert!(sched.cancel(k));
+    // Absolute scheduling at MAX itself stays legal (the sentinel).
+    sched.schedule(Time::MAX, 3);
+    assert_eq!(sched.pop(), Some((Time::MAX, 3)));
+}
+
+fn past_event(rng: &mut Rng) {
+    let mut sched: Scheduler<u32> = Scheduler::new();
+    let now = Time::from_fs(1000 + rng.u64_below(1_000_000));
+    sched.schedule(now, 0);
+    assert!(sched.pop().is_some());
+    assert_eq!(sched.now(), now);
+    for _ in 0..8 {
+        let stale = Time::from_fs(rng.u64_below(now.as_fs()));
+        match sched.try_schedule(stale, 1) {
+            Err(SimError::PastEvent { time, now: reported }) => {
+                assert_eq!(time, stale);
+                assert_eq!(reported, now);
+            }
+            other => panic!("expected PastEvent, got {other:?}"),
+        }
+        assert_eq!(sched.len(), 0, "rejected event must not enqueue");
+    }
+    // Present-time scheduling is legal and the scheduler still works.
+    sched.schedule(now, 2);
+    assert_eq!(sched.pop(), Some((now, 2)));
+}
+
+fn interleaved_churn(rng: &mut Rng) {
+    // Model-based churn: the scheduler against a plain-Vec reference.
+    let mut sched: Scheduler<u64> = Scheduler::new();
+    let mut model: Vec<(Time, u64, EventKey)> = Vec::new();
+    let mut next_id = 0u64;
+    for _ in 0..200 {
+        match rng.u64_below(4) {
+            0 | 1 => {
+                let t = sched.now() + Time::from_fs(rng.u64_below(10_000));
+                let key = sched.schedule(t, next_id);
+                model.push((t, next_id, key));
+                next_id += 1;
+            }
+            2 if !model.is_empty() => {
+                let i = rng.usize_below(model.len());
+                let (_, _, key) = model.swap_remove(i);
+                assert!(sched.cancel(key));
+            }
+            _ => {
+                let expect = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, id, _))| (t, id))
+                    .map(|(i, _)| i);
+                match expect {
+                    Some(i) => {
+                        let (t, id, _) = model.remove(i);
+                        assert_eq!(sched.peek_time(), Some(t));
+                        assert_eq!(sched.pop(), Some((t, id)));
+                    }
+                    None => assert_eq!(sched.pop(), None),
+                }
+            }
+        }
+        assert_eq!(sched.len(), model.len(), "len() drifted from the model");
+    }
+}
+
+/// Sets one field of a parameter set, selected by `field`, to `value`.
+fn poison_param(params: &mut BuckParams, field: usize, value: f64) -> &'static str {
+    match field % 9 {
+        0 => {
+            params.vin = value;
+            "vin"
+        }
+        1 => {
+            params.cap = value;
+            "cap"
+        }
+        2 => {
+            params.rload = value;
+            "rload"
+        }
+        3 => {
+            params.rdson_p = value;
+            "rdson_p"
+        }
+        4 => {
+            params.rdson_n = value;
+            "rdson_n"
+        }
+        5 => {
+            params.vdiode = value;
+            "vdiode"
+        }
+        6 => {
+            params.coil.inductance = value;
+            "coil.inductance"
+        }
+        7 => {
+            params.coil.dcr = value;
+            "coil.dcr"
+        }
+        _ => {
+            params.coil.esr_hf = value;
+            "coil.esr_hf"
+        }
+    }
+}
+
+fn nan_analog_param(rng: &mut Rng) {
+    let mut params = BuckParams::default();
+    let field = poison_param(&mut params, rng.usize_below(9), f64::NAN);
+    match Buck::try_new(params) {
+        Err(SimError::InvalidParameter { .. }) => {}
+        other => panic!("NaN {field} accepted: {other:?}"),
+    }
+}
+
+fn negative_analog_param(rng: &mut Rng) {
+    let mut params = BuckParams::default();
+    let value = -rng.f64_range(1e-12, 1e6);
+    let field = poison_param(&mut params, rng.usize_below(9), value);
+    match Buck::try_new(params) {
+        Err(SimError::InvalidParameter { .. }) => {}
+        other => panic!("negative {field} ({value}) accepted: {other:?}"),
+    }
+}
+
+/// Arbitrary adversarial values (huge, denormal, infinite, NaN, zero…)
+/// into one parameter: construction either rejects with a typed error or
+/// the resulting model survives stepping with finite state.
+fn huge_analog_param(rng: &mut Rng) {
+    let mut params = BuckParams::default();
+    let value = fault::adversarial_f64(rng);
+    let field = poison_param(&mut params, rng.usize_below(9), value);
+    match Buck::try_new(params) {
+        Err(SimError::InvalidParameter { .. }) => {}
+        Err(other) => panic!("{field}={value}: wrong error class {other:?}"),
+        Ok(mut buck) => {
+            buck.set_switch(0, true, false);
+            for _ in 0..50 {
+                match buck.try_step(1e-9) {
+                    Ok(()) => {
+                        assert!(buck.output_voltage().is_finite());
+                        assert!(buck.total_coil_current().is_finite());
+                    }
+                    Err(SimError::NonFinite { .. }) => return, // typed divergence: fine
+                    Err(other) => panic!("{field}={value}: wrong error class {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+fn bad_step(rng: &mut Rng) {
+    let mut buck = Buck::try_new(BuckParams::default()).unwrap();
+    buck.set_switch(rng.usize_below(4), true, false);
+    buck.step(5e-9);
+    let (v0, i0, t0) = (buck.output_voltage(), buck.total_coil_current(), buck.time());
+    for dt in [f64::NAN, 0.0, -1e-9, f64::INFINITY, -f64::INFINITY] {
+        match buck.try_step(dt) {
+            Err(SimError::InvalidParameter { .. }) => {}
+            other => panic!("dt={dt} accepted: {other:?}"),
+        }
+        assert_eq!(
+            (buck.output_voltage(), buck.total_coil_current(), buck.time()),
+            (v0, i0, t0),
+            "rejected step mutated the state"
+        );
+    }
+    // The model keeps working after the rejected steps, and the energy
+    // ledger stays physical: input energy covers delivered energy.
+    for _ in 0..200 {
+        buck.try_step(1e-9).unwrap();
+    }
+    assert!(buck.output_voltage().is_finite());
+    let (e_in, e_out) = (buck.energy_in(), buck.energy_out());
+    assert!(e_in.is_finite() && e_out.is_finite());
+    assert!(
+        e_in + 1e-12 + 1e-3 * e_in.abs() >= e_out,
+        "energy ledger violated: in={e_in} out={e_out}"
+    );
+}
+
+fn adversarial_testbench(rng: &mut Rng) {
+    // Random adversarial builder configuration: either a typed build
+    // error or a clean, finite, short-circuit-free run.
+    let ctrl_phases = 1 + rng.usize_below(6);
+    let stage_phases = if rng.bool() { ctrl_phases } else { 1 + rng.usize_below(6) };
+    let dt = fault::adversarial_f64(rng).abs();
+    let mut builder = TestbenchBuilder::new()
+        .params(BuckParams::default().with_phases(stage_phases))
+        .dt(dt);
+    if rng.bool() {
+        builder = builder.load_step(fault::adversarial_f64(rng), fault::adversarial_f64(rng));
+    }
+    let ctrl = AsyncController::new(ctrl_phases, AsyncTiming::default());
+    match builder.try_build(ctrl) {
+        Err(SimError::PhaseMismatch { controller, power_stage }) => {
+            assert_eq!(controller, ctrl_phases);
+            assert_eq!(power_stage, stage_phases);
+        }
+        Err(SimError::InvalidParameter { .. }) => {}
+        Err(other) => panic!("wrong build error class: {other:?}"),
+        Ok(mut tb) => {
+            // A denormal-but-positive dt is legal (validation only
+            // demands positive and finite) — bound the horizon to a few
+            // hundred analog steps so a pathological-but-valid dt can't
+            // stall the suite.
+            let t_end = (dt * 500.0).min(1e-6);
+            match tb.try_run_until(t_end) {
+                Ok(()) => {
+                    assert_eq!(tb.short_circuits(), 0);
+                    assert!(tb.buck().output_voltage().is_finite());
+                    assert!(tb.waveform().v.iter().all(|v| v.is_finite()));
+                }
+                Err(SimError::NonFinite { .. }) => {} // typed divergence: fine
+                Err(other) => panic!("wrong run error class: {other:?}"),
+            }
+        }
+    }
+}
