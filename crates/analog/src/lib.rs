@@ -47,5 +47,5 @@ mod sensors;
 pub use buck::{Buck, BuckParams, SwitchState};
 pub use coil::CoilModel;
 pub use comparator::Comparator;
-pub use record::Waveform;
+pub use record::{TrackId, Waveform};
 pub use sensors::{SensorBank, SensorEvent, SensorKind, SensorThresholds};

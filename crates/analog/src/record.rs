@@ -1,4 +1,88 @@
+use std::fmt;
 use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned digital-track name.
+///
+/// Track names ("uv", "gp0", "get & !pass", ...) are registered once —
+/// at testbench/controller construction time — in a process-wide name
+/// table; the per-event hot path then stores and compares a `u16`
+/// instead of a heap `String`. Ids are process-local (the numbering
+/// depends on registration order), but resolve back to the same names
+/// everywhere, so rendered output is independent of interning order.
+///
+/// # Examples
+///
+/// ```
+/// use a4a_analog::TrackId;
+///
+/// let uv = TrackId::intern("uv");
+/// assert_eq!(uv, TrackId::intern("uv")); // idempotent
+/// assert_eq!(uv.name(), "uv");
+/// assert_eq!(uv, "uv"); // compares by resolved name
+/// assert_eq!(uv.to_string(), "uv");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(u16);
+
+fn registry() -> &'static Mutex<Vec<&'static str>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl TrackId {
+    /// Interns `name`, returning its process-wide id. Idempotent; cold
+    /// path only (linear scan + allocation on first sight of a name).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table exceeds `u16::MAX` distinct names — far
+    /// beyond the handful of tracks any testbench registers.
+    pub fn intern(name: &str) -> TrackId {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(idx) = reg.iter().position(|&n| n == name) {
+            return TrackId(idx as u16);
+        }
+        assert!(
+            reg.len() < u16::MAX as usize,
+            "track name table full ({} names)",
+            reg.len()
+        );
+        // Leaked once per distinct name for the process lifetime, so
+        // `name()` can hand out `&'static str` without a guard.
+        reg.push(Box::leak(name.to_owned().into_boxed_str()));
+        TrackId((reg.len() - 1) as u16)
+    }
+
+    /// Resolves the id back to the name it was interned from.
+    pub fn name(self) -> &'static str {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.get(self.0 as usize).copied().unwrap_or("<unregistered>")
+    }
+
+    /// Raw table index (diagnostics only — ids are process-local).
+    pub fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for TrackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl PartialEq<str> for TrackId {
+    fn eq(&self, other: &str) -> bool {
+        self.name() == other
+    }
+}
+
+impl PartialEq<&str> for TrackId {
+    fn eq(&self, other: &&str) -> bool {
+        self.name() == *other
+    }
+}
 
 /// A recorded mixed-signal run: analog samples plus named digital event
 /// tracks — the data behind Figure 6's waveform plots.
@@ -11,7 +95,7 @@ use std::fmt::Write as _;
 /// let mut w = Waveform::new(2);
 /// w.sample(0.0, 0.0, &[0.0, 0.0]);
 /// w.sample(1e-9, 0.1, &[0.01, 0.0]);
-/// w.event(0.5e-9, "uv", true);
+/// w.event_named(0.5e-9, "uv", true);
 /// assert_eq!(w.len(), 2);
 /// assert!(w.csv().starts_with("t,v"));
 /// ```
@@ -24,8 +108,9 @@ pub struct Waveform {
     pub v: Vec<f64>,
     /// Coil current per phase per sample (A): `i[phase][sample]`.
     pub i: Vec<Vec<f64>>,
-    /// Digital events: (time, track name, new value).
-    pub events: Vec<(f64, String, bool)>,
+    /// Digital events: (time, interned track id, new value). Resolve
+    /// names with [`TrackId::name`]; `id == "uv"` compares by name.
+    pub events: Vec<(f64, TrackId, bool)>,
 }
 
 impl Waveform {
@@ -69,9 +154,16 @@ impl Waveform {
         }
     }
 
-    /// Appends a digital event on a named track.
-    pub fn event(&mut self, t: f64, track: impl Into<String>, value: bool) {
-        self.events.push((t, track.into(), value));
+    /// Appends a digital event on an interned track (allocation-free).
+    pub fn event(&mut self, t: f64, track: TrackId, value: bool) {
+        self.events.push((t, track, value));
+    }
+
+    /// Appends a digital event on a track given by name, interning it
+    /// first. Convenience for tests and one-off recording; hot paths
+    /// should intern once and use [`Waveform::event`].
+    pub fn event_named(&mut self, t: f64, track: &str, value: bool) {
+        self.event(t, TrackId::intern(track), value);
     }
 
     /// Restricts all analog samples to a time window (events kept).
@@ -90,7 +182,7 @@ impl Waveform {
             .events
             .iter()
             .filter(|(t, _, _)| *t >= t_start && *t <= t_end)
-            .cloned()
+            .copied()
             .collect();
         out
     }
@@ -134,8 +226,8 @@ mod tests {
             let t = k as f64 * 1e-9;
             w.sample(t, k as f64 * 0.1, &[k as f64 * 0.01, 0.0]);
         }
-        w.event(3e-9, "uv", true);
-        w.event(7e-9, "uv", false);
+        w.event_named(3e-9, "uv", true);
+        w.event_named(7e-9, "uv", false);
         w
     }
 
@@ -149,11 +241,39 @@ mod tests {
     }
 
     #[test]
+    fn intern_round_trip() {
+        let a = TrackId::intern("round-trip-a");
+        let b = TrackId::intern("round-trip-b");
+        assert_ne!(a, b);
+        assert_eq!(a, TrackId::intern("round-trip-a"));
+        assert_eq!(a.name(), "round-trip-a");
+        assert_eq!(b.name(), "round-trip-b");
+        assert_eq!(a, "round-trip-a");
+        assert_ne!(&a, &"round-trip-b");
+        assert_eq!(format!("{a}"), "round-trip-a");
+    }
+
+    #[test]
     fn window_filters_samples_and_events() {
         let w = wave().window(1.5e-9, 6.5e-9);
         assert_eq!(w.len(), 5);
         assert_eq!(w.events.len(), 1);
         assert_eq!(w.events[0].1, "uv");
+        assert!(w.events[0].2);
+    }
+
+    #[test]
+    fn window_preserves_interned_events() {
+        let mut w = Waveform::new(1);
+        w.sample(0.0, 0.0, &[0.0]);
+        let gp = TrackId::intern("gp0");
+        let uv = TrackId::intern("uv");
+        w.event(1e-9, gp, true);
+        w.event(2e-9, uv, true);
+        w.event(3e-9, gp, false);
+        let win = w.window(0.5e-9, 2.5e-9);
+        assert_eq!(win.events, vec![(1e-9, gp, true), (2e-9, uv, true)]);
+        assert_eq!(win.events[0].1.name(), "gp0");
     }
 
     #[test]
@@ -166,6 +286,25 @@ mod tests {
         let ev = w.events_csv();
         assert!(ev.contains("uv,1"));
         assert!(ev.contains("uv,0"));
+    }
+
+    #[test]
+    fn events_csv_renders_names_exactly_as_string_era() {
+        // The pre-interning format was `{t:.9e},{track},{value as u8}`
+        // with a stable sort by time; byte-for-byte compatibility is
+        // the refactor contract.
+        let mut w = Waveform::new(1);
+        w.sample(0.0, 0.0, &[0.0]);
+        w.event_named(2e-9, "uv", false);
+        w.event_named(1e-9, "gp0", true);
+        w.event_named(1e-9, "hl", true);
+        assert_eq!(
+            w.events_csv(),
+            "t,track,value\n\
+             1.000000000e-9,gp0,1\n\
+             1.000000000e-9,hl,1\n\
+             2.000000000e-9,uv,0\n"
+        );
     }
 
     #[test]

@@ -104,8 +104,13 @@ pub struct SensorBank {
     oc: Vec<Comparator>,
     zc: Vec<Comparator>,
     ov_mode: bool,
-    /// Last sampled (time, voltage, currents).
-    last: Option<(f64, f64, Vec<f64>)>,
+    /// Last sampled time/voltage/currents, valid when `has_last`. Kept
+    /// as flat fields (currents in a reused buffer) so the per-window
+    /// [`SensorBank::update_into`] path never clones or allocates.
+    has_last: bool,
+    last_t: f64,
+    last_v: f64,
+    last_i: Vec<f64>,
 }
 
 impl SensorBank {
@@ -124,7 +129,10 @@ impl SensorBank {
                 .collect(),
             ov_mode: false,
             thresholds,
-            last: None,
+            has_last: false,
+            last_t: 0.0,
+            last_v: 0.0,
+            last_i: Vec::with_capacity(phases),
         }
     }
 
@@ -167,10 +175,12 @@ impl SensorBank {
             c.set_threshold(zc_ref);
         }
         // Re-evaluate against the stored sample so mode changes take
-        // effect without waiting for the next analog step.
+        // effect without waiting for the next analog step. Cold path
+        // (mode switches are rare), so returning a Vec is fine.
         let mut events = Vec::new();
-        if let Some((_, _, currents)) = self.last.clone() {
-            for (k, &i) in currents.iter().enumerate() {
+        if self.has_last {
+            for k in 0..self.last_i.len() {
+                let i = self.last_i[k];
                 if let Some((_, v)) = self.oc[k].update(now, i, now, i) {
                     events.push(SensorEvent {
                         time: now + t.delay,
@@ -191,18 +201,41 @@ impl SensorBank {
     }
 
     /// Feeds one analog step (from the last sample to `(t, v, i)`),
-    /// returning sensor events sorted by time.
+    /// returning sensor events sorted by time. Convenience wrapper
+    /// around [`SensorBank::update_into`].
     ///
     /// # Panics
     ///
     /// Panics if the current slice length changes between calls.
     pub fn update(&mut self, t0: f64, t: f64, v: f64, i: &[f64]) -> Vec<SensorEvent> {
-        let (prev_t, prev_v, prev_i) = match &self.last {
-            Some((pt, pv, pi)) => (*pt, *pv, pi.clone()),
-            None => (t0, v, i.to_vec()),
-        };
-        assert_eq!(prev_i.len(), i.len(), "phase count changed");
         let mut events = Vec::new();
+        self.update_into(t0, t, v, i, &mut events);
+        events
+    }
+
+    /// Allocation-free [`SensorBank::update`]: appends the step's
+    /// events to `events` (that appended range sorted by time) instead
+    /// of returning a fresh Vec, so the co-simulation loop can reuse
+    /// one buffer across windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current slice length changes between calls.
+    pub fn update_into(
+        &mut self,
+        t0: f64,
+        t: f64,
+        v: f64,
+        i: &[f64],
+        events: &mut Vec<SensorEvent>,
+    ) {
+        let (prev_t, prev_v) = if self.has_last {
+            assert_eq!(self.last_i.len(), i.len(), "phase count changed");
+            (self.last_t, self.last_v)
+        } else {
+            (t0, v)
+        };
+        let start = events.len();
         let mut push = |kind: SensorKind, ev: Option<(f64, bool)>| {
             if let Some((time, value)) = ev {
                 events.push(SensorEvent { time, kind, value });
@@ -212,18 +245,16 @@ impl SensorBank {
         push(SensorKind::Uv, self.uv.update(prev_t, prev_v, t, v));
         push(SensorKind::Ov, self.ov.update(prev_t, prev_v, t, v));
         for k in 0..i.len() {
-            push(
-                SensorKind::Oc(k),
-                self.oc[k].update(prev_t, prev_i[k], t, i[k]),
-            );
-            push(
-                SensorKind::Zc(k),
-                self.zc[k].update(prev_t, prev_i[k], t, i[k]),
-            );
+            let prev_ik = if self.has_last { self.last_i[k] } else { i[k] };
+            push(SensorKind::Oc(k), self.oc[k].update(prev_t, prev_ik, t, i[k]));
+            push(SensorKind::Zc(k), self.zc[k].update(prev_t, prev_ik, t, i[k]));
         }
-        self.last = Some((t, v, i.to_vec()));
-        events.sort_by(|a, b| a.time.total_cmp(&b.time));
-        events
+        self.has_last = true;
+        self.last_t = t;
+        self.last_v = v;
+        self.last_i.clear();
+        self.last_i.extend_from_slice(i);
+        events[start..].sort_by(|a, b| a.time.total_cmp(&b.time));
     }
 }
 

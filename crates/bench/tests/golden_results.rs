@@ -35,39 +35,39 @@ const EXPECTED_TABLE1: &[(&str, [f64; 5])] = &[
 /// Figure 7a, `results/fig7a.csv`: peak inductor current (mA) over the
 /// 1–10 µH coil grid at a 6 Ω load.
 const EXPECTED_7A: &[(f64, [f64; 5])] = &[
-    (1.0000, [391.8359, 339.3835, 324.4143, 315.4078, 307.8859]),
-    (1.8000, [273.1133, 264.9641, 261.4382, 255.5265, 253.7817]),
-    (2.2500, [254.9148, 251.3471, 248.1570, 243.9897, 242.3711]),
-    (3.1000, [237.1193, 235.7463, 234.1715, 230.7614, 229.7652]),
-    (4.7000, [227.9720, 222.4335, 221.5688, 219.9790, 218.5574]),
-    (5.7000, [221.4015, 217.8261, 216.8736, 215.8278, 214.6387]),
-    (6.8000, [214.9959, 214.1974, 213.5077, 212.6984, 211.7792]),
-    (8.2000, [216.7976, 211.1805, 210.6232, 209.1963, 209.1091]),
-    (10.0000, [212.3995, 208.5393, 207.9273, 207.1579, 206.8557]),
+    (1.0000, [391.8359, 339.4416, 324.4683, 314.2996, 307.9005]),
+    (1.8000, [273.1133, 265.1313, 261.5682, 255.5265, 253.7166]),
+    (2.2500, [254.9148, 251.4870, 248.3994, 243.9897, 242.3379]),
+    (3.1000, [237.1193, 235.8671, 234.1802, 230.7614, 229.4483]),
+    (4.7000, [227.9720, 222.5301, 221.4926, 219.9790, 218.2983]),
+    (5.7000, [221.4015, 217.9170, 216.9021, 215.8278, 214.6716]),
+    (6.8000, [214.9959, 214.2874, 213.4178, 212.6984, 211.6859]),
+    (8.2000, [216.7976, 211.1736, 210.6611, 209.1963, 209.1425]),
+    (10.0000, [212.4830, 208.5042, 207.9358, 207.2272, 206.8717]),
 ];
 
 /// Figure 7b, `results/fig7b.csv`: peak inductor current (mA) over the
 /// 3–15 Ω load grid at 4.7 µH.
 const EXPECTED_7B: &[(f64, [f64; 5])] = &[
-    (3.0000, [228.0970, 222.4726, 221.5491, 220.0656, 218.4350]),
-    (6.0000, [227.9720, 222.4335, 221.5688, 219.9790, 218.5574]),
-    (9.0000, [227.9291, 222.1447, 221.3889, 218.9711, 218.4851]),
-    (12.0000, [227.9074, 222.6890, 221.2731, 219.9369, 218.3748]),
-    (15.0000, [227.8944, 222.6035, 221.2031, 219.8798, 218.3632]),
+    (3.0000, [228.0970, 222.5685, 221.5694, 220.0656, 218.4936]),
+    (6.0000, [227.9720, 222.5301, 221.4926, 219.9790, 218.2983]),
+    (9.0000, [227.9291, 222.2424, 221.3022, 218.9711, 218.4320]),
+    (12.0000, [227.9074, 222.7858, 221.1866, 219.9369, 218.4394]),
+    (15.0000, [227.8944, 222.7005, 221.1166, 219.8798, 218.3727]),
 ];
 
 /// Figure 7c, `results/fig7c.csv`: inductor ripple losses (µW) over the
 /// 1–10 µH coil grid at a 6 Ω load.
 const EXPECTED_7C: &[(f64, [f64; 5])] = &[
-    (1.0000, [5793.9286, 2638.6499, 2344.5797, 2776.2112, 3179.8292]),
-    (1.8000, [4850.9367, 4349.0816, 4478.5739, 4986.5165, 5613.1297]),
-    (2.2500, [6428.9446, 5927.3220, 5830.1353, 5576.4485, 6563.0822]),
-    (3.1000, [6919.4281, 7212.9059, 6324.9039, 7035.1438, 7605.2333]),
-    (4.7000, [12739.9305, 7921.9931, 8684.9816, 6789.6211, 7795.9946]),
-    (5.7000, [13536.5124, 9360.2832, 9496.7755, 10264.3506, 10073.1968]),
-    (6.8000, [18319.9533, 13546.3606, 10104.6576, 9704.2121, 8991.9381]),
-    (8.2000, [14920.7957, 12407.7316, 10425.8219, 10283.0535, 10382.4997]),
-    (10.0000, [19110.5739, 13860.6611, 9790.4880, 11574.0595, 9431.5742]),
+    (1.0000, [5810.9784, 2637.9108, 2341.8124, 2784.0296, 3181.1913]),
+    (1.8000, [4859.7172, 4352.7426, 4483.1511, 5023.1072, 5616.1674]),
+    (2.2500, [6431.1606, 5920.4072, 5827.5095, 5668.0288, 7113.7520]),
+    (3.1000, [6928.9109, 7215.6552, 6322.9622, 7146.6774, 7599.7846]),
+    (4.7000, [12708.2406, 7928.0375, 8692.7252, 6768.6400, 7786.4713]),
+    (5.7000, [13541.1941, 9366.4187, 9506.0227, 10540.4216, 9601.9406]),
+    (6.8000, [18256.2868, 13551.4669, 10100.4665, 9580.4302, 8992.9293]),
+    (8.2000, [14947.4316, 12410.1220, 10422.5213, 10628.7177, 10384.2020]),
+    (10.0000, [19100.1000, 13858.7136, 9796.5870, 11121.3410, 9441.2204]),
 ];
 
 const SERIES: [&str; 5] = ["100MHz", "333MHz", "666MHz", "1GHz", "ASYNC"];

@@ -7,7 +7,11 @@
 //! interpolation and delivered to the controller in time order,
 //! interleaved with the controller's own timer/clock wakeups.
 
-use a4a_analog::{Buck, BuckParams, SensorBank, SensorEvent, SensorThresholds, Waveform};
+use std::collections::VecDeque;
+
+use a4a_analog::{
+    Buck, BuckParams, SensorBank, SensorEvent, SensorKind, SensorThresholds, TrackId, Waveform,
+};
 use a4a_ctrl::{BuckController, Command, GateTiming, TimedCommand};
 use a4a_sim::{SimError, Time};
 
@@ -22,6 +26,65 @@ enum PendKind {
     OvMode(bool),
     /// Scheduled load step.
     LoadStep(f64),
+}
+
+/// Interned track names for everything the testbench records,
+/// registered once at build time so the hot loop never formats or
+/// allocates a name (`format!("gp{phase}")`, `kind.to_string()`).
+#[derive(Debug)]
+struct TrackTable {
+    hl: TrackId,
+    uv: TrackId,
+    ov: TrackId,
+    oc: Vec<TrackId>,
+    zc: Vec<TrackId>,
+    gp: Vec<TrackId>,
+    gn: Vec<TrackId>,
+    ov_mode: TrackId,
+    load_step: TrackId,
+}
+
+impl TrackTable {
+    fn new(phases: usize) -> TrackTable {
+        let per_phase = |prefix: &str| -> Vec<TrackId> {
+            (0..phases)
+                .map(|k| TrackId::intern(&format!("{prefix}{k}")))
+                .collect()
+        };
+        TrackTable {
+            hl: TrackId::intern("hl"),
+            uv: TrackId::intern("uv"),
+            ov: TrackId::intern("ov"),
+            oc: per_phase("oc"),
+            zc: per_phase("zc"),
+            gp: per_phase("gp"),
+            gn: per_phase("gn"),
+            ov_mode: TrackId::intern("ov_mode"),
+            load_step: TrackId::intern("load_step"),
+        }
+    }
+
+    /// The track a sensor event is recorded on (renders exactly like
+    /// the old `kind.to_string()`).
+    fn sensor(&self, kind: SensorKind) -> TrackId {
+        match kind {
+            SensorKind::Hl => self.hl,
+            SensorKind::Uv => self.uv,
+            SensorKind::Ov => self.ov,
+            SensorKind::Oc(k) => self.oc[k],
+            SensorKind::Zc(k) => self.zc[k],
+        }
+    }
+
+    /// The track a gate application is recorded on (`gp{phase}` /
+    /// `gn{phase}`).
+    fn gate(&self, phase: usize, pmos: bool) -> TrackId {
+        if pmos {
+            self.gp[phase]
+        } else {
+            self.gn[phase]
+        }
+    }
 }
 
 /// Builder for [`Testbench`].
@@ -150,6 +213,11 @@ impl TestbenchBuilder {
             .map(|&(at, r)| (at, PendKind::LoadStep(r)))
             .collect();
         pending.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // The rest state at t = 0 is the first point of the uniform
+        // sampling grid; subsequent grid points clamp the integration
+        // windows so every sample lands exactly on the grid.
+        let mut record = Waveform::new(phases);
+        record.sample(0.0, 0.0, &vec![0.0; phases]);
         Ok(Testbench {
             buck,
             sensors: SensorBank::new(phases, self.thresholds),
@@ -157,14 +225,19 @@ impl TestbenchBuilder {
             gate_timing: self.gate_timing,
             dt: self.dt,
             record_every: self.record_every,
-            next_sample_at: 0.0,
-            pending,
-            record: Waveform::new(phases),
+            next_sample_at: self.dt * self.record_every as f64,
+            sample_idx: 1,
+            pending: pending.into(),
+            record,
             gp: vec![false; phases],
             gn: vec![false; phases],
             short_circuits: 0,
             last_delivered: Time::ZERO,
             debug_tracks: Vec::new(),
+            tracks_buf: Vec::new(),
+            events_buf: Vec::new(),
+            cmds_buf: Vec::new(),
+            tracks: TrackTable::new(phases),
         })
     }
 }
@@ -197,10 +270,15 @@ pub struct Testbench<C: BuckController> {
     gate_timing: GateTiming,
     dt: f64,
     record_every: usize,
-    /// Next point of the uniform sampling grid.
+    /// Next point of the uniform sampling grid (`sample_idx` grid
+    /// periods; kept as an index so the grid never drifts from
+    /// accumulated floating-point error).
     next_sample_at: f64,
-    /// Pending side effects sorted by time (kept sorted on insert).
-    pending: Vec<(f64, PendKind)>,
+    /// Index of the next sampling-grid point.
+    sample_idx: u64,
+    /// Pending side effects sorted by time (kept sorted on insert;
+    /// drained from the front in O(1)).
+    pending: VecDeque<(f64, PendKind)>,
     record: Waveform,
     /// Commanded-and-applied switch states.
     gp: Vec<bool>,
@@ -211,7 +289,17 @@ pub struct Testbench<C: BuckController> {
     short_circuits: usize,
     last_delivered: Time,
     /// Last seen controller debug-track values (for change detection).
-    debug_tracks: Vec<(String, bool)>,
+    /// Tracks the controller stops reporting are dropped from this set,
+    /// so a reappearing track is treated as new.
+    debug_tracks: Vec<(TrackId, bool)>,
+    /// Reused scratch for the per-window debug-track query.
+    tracks_buf: Vec<(TrackId, bool)>,
+    /// Reused buffer for the per-window comparator events.
+    events_buf: Vec<SensorEvent>,
+    /// Reused buffer for drained controller commands.
+    cmds_buf: Vec<TimedCommand>,
+    /// Interned track names, registered once at build time.
+    tracks: TrackTable,
 }
 
 impl<C: BuckController> Testbench<C> {
@@ -247,9 +335,7 @@ impl<C: BuckController> Testbench<C> {
     }
 
     fn push_pending(&mut self, at: f64, kind: PendKind) {
-        let idx = self
-            .pending
-            .partition_point(|&(t, _)| t <= at);
+        let idx = self.pending.partition_point(|&(t, _)| t <= at);
         self.pending.insert(idx, (at, kind));
     }
 
@@ -279,10 +365,15 @@ impl<C: BuckController> Testbench<C> {
         }
         while self.buck.time() < t_end {
             let t = self.buck.time();
-            // Window end: the earliest of max-step, pending side effects,
-            // and controller wakeups.
+            // Window end: the earliest of max-step, the next sampling
+            // grid point (so samples land *on* the uniform grid, not at
+            // the first window end after it), pending side effects, and
+            // controller wakeups.
             let mut tn = (t + self.dt).min(t_end);
-            if let Some(&(tp, _)) = self.pending.first() {
+            if self.next_sample_at > t {
+                tn = tn.min(self.next_sample_at);
+            }
+            if let Some(&(tp, _)) = self.pending.front() {
                 if tp > t {
                     tn = tn.min(tp);
                 }
@@ -300,57 +391,76 @@ impl<C: BuckController> Testbench<C> {
             // 1. Integrate the analog stage over the window.
             self.buck.try_step(tn - t)?;
 
-            // 2. Comparator events from the window.
-            let currents: Vec<f64> = (0..self.buck.params().phases)
-                .map(|k| self.buck.coil_current(k))
-                .collect();
-            let events = self
-                .sensors
-                .update(t, tn, self.buck.output_voltage(), &currents);
+            // 2. Comparator events from the window, into the reused
+            //    buffer (the buck hands out its current slice directly —
+            //    no per-window collect).
+            self.events_buf.clear();
+            self.sensors.update_into(
+                t,
+                tn,
+                self.buck.output_voltage(),
+                self.buck.currents(),
+                &mut self.events_buf,
+            );
 
             // 3. Deliver sensor events, controller wakeups, and pending
             //    side effects in time order.
-            self.deliver(events, tn);
+            self.deliver(tn)?;
 
             // 4. Record controller debug tracks (e.g. `act`,
             //    `get & !pass`) on change, like Figure 6's signal rows.
-            let tracks = self.ctrl.debug_tracks();
-            if tracks != self.debug_tracks {
-                for (name, value) in &tracks {
+            //    Interned ids make the per-window comparison a few word
+            //    compares instead of string compares.
+            self.tracks_buf.clear();
+            self.ctrl.debug_tracks_into(&mut self.tracks_buf);
+            if self.tracks_buf != self.debug_tracks {
+                for idx in 0..self.tracks_buf.len() {
+                    let (id, value) = self.tracks_buf[idx];
                     let changed = self
                         .debug_tracks
                         .iter()
-                        .find(|(n, _)| n == name)
-                        .map(|(_, v)| v != value)
+                        .find(|&&(n, _)| n == id)
+                        .map(|&(_, v)| v != value)
                         .unwrap_or(true);
                     if changed {
-                        self.record.event(tn, name.clone(), *value);
+                        self.record.event(tn, id, value);
                     }
                 }
-                self.debug_tracks = tracks;
+                // Adopt the new set wholesale: tracks that disappeared
+                // are dropped (not carried forever), so a later
+                // reappearance records again. Swap keeps both buffers'
+                // capacity.
+                std::mem::swap(&mut self.debug_tracks, &mut self.tracks_buf);
             }
 
             // 5. Record on a uniform time grid (windows vary in length,
             //    so per-window decimation would bias RMS metrics toward
             //    event-dense regions).
             if tn >= self.next_sample_at {
-                let currents: Vec<f64> = (0..self.buck.params().phases)
-                    .map(|k| self.buck.coil_current(k))
-                    .collect();
                 self.record
-                    .sample(tn, self.buck.output_voltage(), &currents);
+                    .sample(tn, self.buck.output_voltage(), self.buck.currents());
                 let period = self.dt * self.record_every as f64;
-                self.next_sample_at = (tn / period).floor() * period + period;
+                loop {
+                    self.sample_idx += 1;
+                    self.next_sample_at = self.sample_idx as f64 * period;
+                    if self.next_sample_at > tn {
+                        break;
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    fn deliver(&mut self, mut events: Vec<SensorEvent>, tn: f64) {
+    /// Delivers this window's comparator events (in `events_buf`, read
+    /// through an index cursor — no `Vec::remove(0)` shifting),
+    /// controller wakeups, and pending side effects in time order.
+    fn deliver(&mut self, tn: f64) -> Result<(), SimError> {
+        let mut cursor = 0;
         loop {
             // Earliest actionable item ≤ tn.
-            let t_sensor = events.first().map(|e| e.time);
-            let t_pend = self.pending.first().map(|p| p.0).filter(|&x| x <= tn);
+            let t_sensor = self.events_buf.get(cursor).map(|e| e.time);
+            let t_pend = self.pending.front().map(|p| p.0).filter(|&x| x <= tn);
             let t_wake = self
                 .ctrl
                 .next_wakeup()
@@ -368,20 +478,22 @@ impl<C: BuckController> Testbench<C> {
             if Some(next) == t_wake && t_sensor.map(|x| next < x).unwrap_or(true)
                 && t_pend.map(|x| next < x).unwrap_or(true)
             {
-                let tw = self.clamp_time(next);
+                let tw = self.clamp_time(next)?;
                 self.ctrl.on_wakeup(tw);
                 self.drain_commands();
                 continue;
             }
             if Some(next) == t_pend && t_sensor.map(|x| next <= x).unwrap_or(true) {
-                let (at, kind) = self.pending.remove(0);
-                self.apply_pending(at, kind);
+                if let Some((at, kind)) = self.pending.pop_front() {
+                    self.apply_pending(at, kind)?;
+                }
                 continue;
             }
             // Sensor event.
-            let ev = events.remove(0);
+            let ev = self.events_buf[cursor];
+            cursor += 1;
             // Let the controller's internal clock catch up first.
-            let te = self.clamp_time(ev.time);
+            let te = self.clamp_time(ev.time)?;
             if let Some(w) = self.ctrl.next_wakeup() {
                 if w <= te {
                     self.ctrl.on_wakeup(te);
@@ -389,24 +501,27 @@ impl<C: BuckController> Testbench<C> {
                 }
             }
             self.record
-                .event(ev.time, ev.kind.to_string(), ev.value);
+                .event(ev.time, self.tracks.sensor(ev.kind), ev.value);
             self.ctrl.on_sensor(te, ev.kind, ev.value);
             self.drain_commands();
         }
+        Ok(())
     }
 
     /// Monotonic clamp: the controller must never see time move
-    /// backwards even when interpolated event times interleave.
-    fn clamp_time(&mut self, secs: f64) -> Time {
-        let t = Time::from_secs(secs.max(0.0));
+    /// backwards even when interpolated event times interleave. A
+    /// non-representable event time (e.g. a huge interpolated crossing)
+    /// surfaces as [`SimError::InvalidTime`] instead of a panic.
+    fn clamp_time(&mut self, secs: f64) -> Result<Time, SimError> {
+        let t = Time::try_from_secs(secs.max(0.0))?;
         if t < self.last_delivered {
-            return self.last_delivered;
+            return Ok(self.last_delivered);
         }
         self.last_delivered = t;
-        t
+        Ok(t)
     }
 
-    fn apply_pending(&mut self, at: f64, kind: PendKind) {
+    fn apply_pending(&mut self, at: f64, kind: PendKind) -> Result<(), SimError> {
         match kind {
             PendKind::Apply { phase, pmos, value } => {
                 let (gp, gn) = if pmos {
@@ -418,46 +533,51 @@ impl<C: BuckController> Testbench<C> {
                     // A buggy controller would short the bridge; refuse
                     // and count (the STG-verified designs never hit this).
                     self.short_circuits += 1;
-                    return;
+                    return Ok(());
                 }
                 self.gp[phase] = gp;
                 self.gn[phase] = gn;
-                self.buck.set_switch(phase, gp, gn);
-                self.record.event(
-                    at,
-                    format!("{}{}", if pmos { "gp" } else { "gn" }, phase),
-                    value,
-                );
+                self.buck.try_set_switch(phase, gp, gn)?;
+                self.record.event(at, self.tracks.gate(phase, pmos), value);
                 self.push_pending(
                     at + self.gate_timing.ack_delay.as_secs(),
                     PendKind::Ack { phase, pmos, value },
                 );
             }
             PendKind::Ack { phase, pmos, value } => {
-                let t = self.clamp_time(at);
+                let t = self.clamp_time(at)?;
                 self.ctrl.on_gate_ack(t, phase, pmos, value);
                 self.drain_commands();
             }
             PendKind::OvMode(on) => {
+                // Cold path (mode switches are rare events): the Vec
+                // returned by set_ov_mode is fine here.
                 let evs = self.sensors.set_ov_mode(on, at);
-                self.record.event(at, "ov_mode", on);
+                self.record.event(at, self.tracks.ov_mode, on);
                 for ev in evs {
-                    let te = self.clamp_time(ev.time);
-                    self.record.event(ev.time, ev.kind.to_string(), ev.value);
+                    let te = self.clamp_time(ev.time)?;
+                    self.record
+                        .event(ev.time, self.tracks.sensor(ev.kind), ev.value);
                     self.ctrl.on_sensor(te, ev.kind, ev.value);
                 }
                 self.drain_commands();
             }
             PendKind::LoadStep(r) => {
-                self.buck.set_load(r);
-                self.record.event(at, "load_step", true);
+                self.buck.try_set_load(r)?;
+                self.record.event(at, self.tracks.load_step, true);
             }
         }
+        Ok(())
     }
 
     fn drain_commands(&mut self) {
-        let cmds: Vec<TimedCommand> = self.ctrl.take_commands();
-        for cmd in cmds {
+        // The buffer is taken out of `self` for the drain so the
+        // controller and `push_pending` can both borrow; steady state
+        // never allocates.
+        let mut cmds = std::mem::take(&mut self.cmds_buf);
+        cmds.clear();
+        self.ctrl.take_commands_into(&mut cmds);
+        for cmd in &cmds {
             let at = cmd.time.as_secs();
             match cmd.command {
                 Command::Gate { phase, pmos, value } => {
@@ -471,6 +591,7 @@ impl<C: BuckController> Testbench<C> {
                 }
             }
         }
+        self.cmds_buf = cmds;
     }
 }
 
@@ -627,6 +748,66 @@ mod tests {
             TestbenchBuilder::new().params(params).try_build(ctrl),
             Err(SimError::InvalidParameter { what: "cap (F)", .. })
         ));
+    }
+
+    #[test]
+    fn disappearing_debug_track_is_dropped_and_rerecords() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        /// Inert controller whose debug-track list is steered from the
+        /// outside (shared cell), to exercise the testbench's
+        /// change-detection bookkeeping.
+        struct TrackStub {
+            tracks: Rc<RefCell<Vec<(a4a_analog::TrackId, bool)>>>,
+        }
+        impl BuckController for TrackStub {
+            fn phases(&self) -> usize {
+                4
+            }
+            fn on_sensor(&mut self, _: Time, _: a4a_analog::SensorKind, _: bool) {}
+            fn on_gate_ack(&mut self, _: Time, _: usize, _: bool, _: bool) {}
+            fn next_wakeup(&self) -> Option<Time> {
+                None
+            }
+            fn on_wakeup(&mut self, _: Time) {}
+            fn take_commands(&mut self) -> Vec<TimedCommand> {
+                Vec::new()
+            }
+            fn debug_tracks_into(&self, out: &mut Vec<(a4a_analog::TrackId, bool)>) {
+                out.extend(self.tracks.borrow().iter().copied());
+            }
+        }
+
+        let dbg = a4a_analog::TrackId::intern("dbg-stub");
+        let tracks = Rc::new(RefCell::new(vec![(dbg, true)]));
+        let ctrl = TrackStub {
+            tracks: Rc::clone(&tracks),
+        };
+        let mut tb = TestbenchBuilder::new().build(ctrl);
+        let count = |tb: &Testbench<TrackStub>| {
+            tb.waveform()
+                .events
+                .iter()
+                .filter(|&&(_, n, _)| n == dbg)
+                .count()
+        };
+
+        // Window 1: the track appears -> recorded once.
+        tb.run_until(0.5e-9);
+        assert_eq!(count(&tb), 1, "new track records an event");
+
+        // The track disappears: no event, and it must not linger in
+        // the stored set.
+        tracks.borrow_mut().clear();
+        tb.run_until(1.0e-9);
+        assert_eq!(count(&tb), 1, "disappearing track records nothing");
+
+        // It reappears with the *same* value: a stale stored entry
+        // would suppress this; the drop semantics record it again.
+        tracks.borrow_mut().push((dbg, true));
+        tb.run_until(1.5e-9);
+        assert_eq!(count(&tb), 2, "reappearing track records again");
     }
 
     #[test]

@@ -80,6 +80,14 @@ impl BuckController for BasicBuckController {
     fn take_commands(&mut self) -> Vec<TimedCommand> {
         self.inner.take_commands()
     }
+
+    fn take_commands_into(&mut self, out: &mut Vec<TimedCommand>) {
+        self.inner.take_commands_into(out);
+    }
+
+    // `debug_tracks_into` deliberately keeps the empty default: the
+    // single-phase wrapper exposes no internal tracks (same behaviour
+    // as the String-era `debug_tracks`).
 }
 
 #[cfg(test)]

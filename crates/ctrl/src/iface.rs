@@ -1,4 +1,4 @@
-use a4a_analog::SensorKind;
+use a4a_analog::{SensorKind, TrackId};
 use a4a_sim::Time;
 
 /// An action requested by a controller.
@@ -60,11 +60,21 @@ pub trait BuckController {
     /// Drains the commands produced since the last call, in time order.
     fn take_commands(&mut self) -> Vec<TimedCommand>;
 
-    /// Named internal tracks for waveform recording (e.g. `act`,
-    /// `get & !pass`). Default: none.
-    fn debug_tracks(&self) -> Vec<(String, bool)> {
-        Vec::new()
+    /// Allocation-free [`BuckController::take_commands`]: appends the
+    /// drained commands to `out` (in time order) so the co-simulation
+    /// loop can reuse one buffer across windows. The default forwards
+    /// to `take_commands`; controllers on the hot path should override
+    /// it to drain their internal queue without an intermediate Vec.
+    fn take_commands_into(&mut self, out: &mut Vec<TimedCommand>) {
+        out.extend(self.take_commands());
     }
+
+    /// Appends the controller's internal debug tracks for waveform
+    /// recording (e.g. `act`, `get & !pass`) as interned-id/value
+    /// pairs. Track names must be interned once at construction
+    /// ([`TrackId::intern`]) so this per-window call never allocates.
+    /// Default: none.
+    fn debug_tracks_into(&self, _out: &mut Vec<(TrackId, bool)>) {}
 }
 
 impl<T: BuckController + ?Sized> BuckController for Box<T> {
@@ -92,8 +102,12 @@ impl<T: BuckController + ?Sized> BuckController for Box<T> {
         (**self).take_commands()
     }
 
-    fn debug_tracks(&self) -> Vec<(String, bool)> {
-        (**self).debug_tracks()
+    fn take_commands_into(&mut self, out: &mut Vec<TimedCommand>) {
+        (**self).take_commands_into(out);
+    }
+
+    fn debug_tracks_into(&self, out: &mut Vec<(TrackId, bool)>) {
+        (**self).debug_tracks_into(out);
     }
 }
 

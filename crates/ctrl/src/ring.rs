@@ -16,7 +16,7 @@
 //! modules) and there is no clock anywhere — reaction latency is purely
 //! the sum of the modules a signal actually traverses.
 
-use a4a_analog::SensorKind;
+use a4a_analog::{SensorKind, TrackId};
 use a4a_sim::{Scheduler, Time};
 
 use crate::{AsyncTiming, BuckController, Command, TimedCommand};
@@ -151,6 +151,8 @@ pub struct AsyncController {
     token_arrived_at: Time,
     token_pass_scheduled: bool,
     ov_mode: bool,
+    /// Interned name of the `get & !pass` debug track.
+    track_get_not_pass: TrackId,
 }
 
 impl AsyncController {
@@ -174,6 +176,7 @@ impl AsyncController {
             token_arrived_at: Time::ZERO,
             token_pass_scheduled: false,
             ov_mode: false,
+            track_get_not_pass: TrackId::intern("get & !pass"),
         };
         ctrl.sched.schedule(Time::ZERO, Act::Arm { phase: 0 });
         ctrl
@@ -656,11 +659,17 @@ impl BuckController for AsyncController {
         cmds
     }
 
-    fn debug_tracks(&self) -> Vec<(String, bool)> {
-        vec![(
-            "get & !pass".to_string(),
+    fn take_commands_into(&mut self, out: &mut Vec<TimedCommand>) {
+        let start = out.len();
+        out.append(&mut self.out);
+        out[start..].sort_by_key(|c| c.time);
+    }
+
+    fn debug_tracks_into(&self, out: &mut Vec<(TrackId, bool)>) {
+        out.push((
+            self.track_get_not_pass,
             self.phases[self.token_holder].armed || self.token_pass_scheduled,
-        )]
+        ));
     }
 }
 

@@ -11,7 +11,7 @@
 //! periods, and an unserved activation pulse is simply lost when the
 //! activator moves on.
 
-use a4a_analog::SensorKind;
+use a4a_analog::{SensorKind, TrackId};
 use a4a_sim::Time;
 
 use crate::{BuckController, Command, SyncParams, TimedCommand};
@@ -149,6 +149,8 @@ pub struct SyncController {
     ov_mode: bool,
     meta: Option<a4a_a2a_meta::MetaState>,
     out: Vec<TimedCommand>,
+    /// Interned name of the `act` debug track.
+    track_act: TrackId,
 }
 
 impl SyncController {
@@ -184,6 +186,7 @@ impl SyncController {
                 None
             },
             out: Vec::new(),
+            track_act: TrackId::intern("act"),
             params,
         }
     }
@@ -438,8 +441,14 @@ impl BuckController for SyncController {
         cmds
     }
 
-    fn debug_tracks(&self) -> Vec<(String, bool)> {
-        vec![("act".to_string(), self.phases[self.act_pointer].armed)]
+    fn take_commands_into(&mut self, out: &mut Vec<TimedCommand>) {
+        let start = out.len();
+        out.append(&mut self.out);
+        out[start..].sort_by_key(|c| c.time);
+    }
+
+    fn debug_tracks_into(&self, out: &mut Vec<(TrackId, bool)>) {
+        out.push((self.track_act, self.phases[self.act_pointer].armed));
     }
 }
 

@@ -35,7 +35,7 @@ fn async_reaction_is_orders_faster_than_100mhz() {
         let gp = w
             .events
             .iter()
-            .find(|(t, n, v)| n.starts_with("gp") && *v && *t > uv)
+            .find(|(t, n, v)| n.name().starts_with("gp") && *v && *t > uv)
             .map(|(t, _, _)| *t)?;
         Some(gp - uv)
     };
