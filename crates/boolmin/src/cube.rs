@@ -210,6 +210,13 @@ impl Cube {
         count
     }
 
+    /// The raw positional-cube encoding — a total, collision-free sort
+    /// key over cubes of one variable space (the minimiser's sorted-vec
+    /// dedup orders generations by it).
+    pub fn key(&self) -> u128 {
+        self.bits
+    }
+
     /// Iterates over (variable, positive?) literal pairs.
     pub fn literals(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
         (0..self.nvars()).filter_map(move |i| self.literal(i).map(|pos| (i, pos)))

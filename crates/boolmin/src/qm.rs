@@ -1,7 +1,6 @@
 //! Quine–McCluskey prime-implicant generation and Petrick exact cover
 //! selection, with a greedy fallback for large instances.
 
-use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
@@ -99,91 +98,132 @@ pub fn minimize(problem: &Minimize<'_>) -> Result<Cover, MinimizeError> {
     if nvars > 18 {
         return Err(MinimizeError::TooManyVariables { nvars });
     }
-    let on_set: HashSet<u64> = problem.on.iter().copied().collect();
-    let off_set: HashSet<u64> = problem.off.iter().copied().collect();
-    if let Some(&m) = on_set.intersection(&off_set).next() {
-        return Err(MinimizeError::Contradiction { minterm: m });
+    let mut on_list: Vec<u64> = problem.on.to_vec();
+    on_list.sort_unstable();
+    on_list.dedup();
+    let mut off_list: Vec<u64> = problem.off.to_vec();
+    off_list.sort_unstable();
+    off_list.dedup();
+    // Sorted-list intersection: reports the *smallest* contradictory
+    // minterm (hash-set iteration order used to pick an arbitrary one).
+    {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < on_list.len() && j < off_list.len() {
+            match on_list[i].cmp(&off_list[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    return Err(MinimizeError::Contradiction {
+                        minterm: on_list[i],
+                    })
+                }
+            }
+        }
     }
-    if on_set.is_empty() {
+    if on_list.is_empty() {
         return Ok(Cover::new(nvars));
     }
 
     // Care-set primes: start from all non-OFF minterms (ON ∪ DC) and merge.
     // Cubes are bucketed by (free-variable mask, positive-literal count);
     // a QM merge only ever pairs cubes in adjacent buckets of the same
-    // free mask, which keeps the pass near-linear in practice.
+    // free mask, which keeps the pass near-linear in practice. Each
+    // generation lives in a sorted `Vec` — sorting by (bucket, raw key)
+    // makes the buckets contiguous runs, duplicates adjacent, and the
+    // whole pass allocation-light; the `HashSet` churn this replaces
+    // rebuilt three hash tables per generation.
     let space = 1u64 << nvars;
-    let mut current: HashSet<Cube> = (0..space)
-        .filter(|m| !off_set.contains(m))
+    let mut current: Vec<Cube> = (0..space)
+        .filter(|m| off_list.binary_search(m).is_err())
         .map(|m| Cube::minterm(nvars, m))
         .collect();
+    let mut next: Vec<Cube> = Vec::new();
+    let mut merged: Vec<bool> = Vec::new();
     let mut primes: Vec<Cube> = Vec::new();
     while !current.is_empty() {
-        let mut groups: std::collections::HashMap<(u64, u32), Vec<Cube>> =
-            std::collections::HashMap::new();
-        for &c in &current {
-            groups.entry((c.free_mask(), c.positive_count())).or_default().push(c);
+        current.sort_by_cached_key(|c| (c.free_mask(), c.positive_count(), c.key()));
+        current.dedup_by_key(|c| c.key());
+        // Contiguous (free mask, positive count) runs.
+        let mut buckets: Vec<((u64, u32), usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=current.len() {
+            let tag = |c: &Cube| (c.free_mask(), c.positive_count());
+            if i == current.len() || tag(&current[i]) != tag(&current[start]) {
+                buckets.push((tag(&current[start]), start, i));
+                start = i;
+            }
         }
-        let mut merged: HashSet<Cube> = HashSet::new();
-        let mut next: HashSet<Cube> = HashSet::new();
-        for (&(mask, ones), cubes) in &groups {
-            let Some(upper) = groups.get(&(mask, ones + 1)) else {
+        merged.clear();
+        merged.resize(current.len(), false);
+        next.clear();
+        for (bi, &((mask, ones), lo, hi)) in buckets.iter().enumerate() {
+            // The partner bucket, if present, is the next run with the
+            // same free mask (runs are sorted by (mask, ones)).
+            let Some(&(_, ulo, uhi)) = buckets
+                .get(bi + 1)
+                .filter(|&&((m, o), _, _)| m == mask && o == ones + 1)
+            else {
                 continue;
             };
-            for a in cubes {
-                for b in upper {
-                    if let Some(m) = a.merge(b) {
-                        merged.insert(*a);
-                        merged.insert(*b);
-                        next.insert(m);
+            for a in lo..hi {
+                for b in ulo..uhi {
+                    if let Some(m) = current[a].merge(&current[b]) {
+                        merged[a] = true;
+                        merged[b] = true;
+                        next.push(m);
                     }
                 }
             }
         }
-        for c in current {
-            if !merged.contains(&c) {
-                primes.push(c);
-            }
-        }
-        current = next;
+        primes.extend(
+            current
+                .iter()
+                .zip(&merged)
+                .filter(|&(_, &was_merged)| !was_merged)
+                .map(|(&c, _)| c),
+        );
+        std::mem::swap(&mut current, &mut next);
     }
 
     // Keep only primes that cover at least one ON minterm.
-    let on_list: Vec<u64> = {
-        let mut v: Vec<u64> = on_set.iter().copied().collect();
-        v.sort_unstable();
-        v
-    };
     primes.retain(|p| on_list.iter().any(|&m| p.covers_minterm(m)));
-    primes.sort_by_key(|p| (p.literal_count(), format!("{p}")));
+    primes.sort_by_cached_key(|p| (p.literal_count(), format!("{p}")));
 
-    // Essential primes first.
+    // Essential primes first. The two minterm work lists swap roles each
+    // round instead of reallocating, and the covering scan stops at the
+    // second hit — only a unique coverer is ever looked at again.
     let mut chosen: Vec<Cube> = Vec::new();
     let mut uncovered: Vec<u64> = on_list.clone();
+    let mut still_uncovered: Vec<u64> = Vec::new();
     loop {
         let mut essential_found = false;
-        let mut still_uncovered = Vec::new();
         for &m in &uncovered {
-            let covering: Vec<usize> = primes
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.covers_minterm(m))
-                .map(|(i, _)| i)
-                .collect();
-            if covering.len() == 1 {
-                let p = primes[covering[0]];
+            let mut count = 0u32;
+            let mut only = 0usize;
+            for (i, p) in primes.iter().enumerate() {
+                if p.covers_minterm(m) {
+                    count += 1;
+                    if count > 1 {
+                        break;
+                    }
+                    only = i;
+                }
+            }
+            if count == 1 {
+                let p = primes[only];
                 if !chosen.contains(&p) {
                     chosen.push(p);
                     essential_found = true;
                 }
             }
         }
+        still_uncovered.clear();
         for &m in &uncovered {
             if !chosen.iter().any(|p| p.covers_minterm(m)) {
                 still_uncovered.push(m);
             }
         }
-        uncovered = still_uncovered;
+        std::mem::swap(&mut uncovered, &mut still_uncovered);
         if !essential_found || uncovered.is_empty() {
             break;
         }

@@ -23,8 +23,8 @@ impl PlaceInvariant {
     pub fn sum(&self, marking: &Marking) -> i64 {
         self.weights
             .iter()
-            .zip(marking.as_slice())
-            .map(|(&w, &t)| w * i64::from(t))
+            .zip(marking.iter())
+            .map(|(&w, t)| w * i64::from(t))
             .sum()
     }
 

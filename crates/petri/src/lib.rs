@@ -45,5 +45,7 @@ mod reach;
 
 pub use invariant::PlaceInvariant;
 pub use marking::Marking;
-pub use net::{ArcKind, NetBuilder, PetriNet, Place, PlaceId, Transition, TransitionId};
+pub use net::{
+    ArcKind, NetBuilder, PetriNet, Place, PlaceId, TokenOverflow, Transition, TransitionId,
+};
 pub use reach::{ExploreError, ReachabilityGraph, StateId};

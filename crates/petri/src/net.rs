@@ -191,8 +191,24 @@ impl PetriNet {
     /// # Panics
     ///
     /// Panics if `t` is not enabled — callers must check with
-    /// [`PetriNet::is_enabled`] first.
+    /// [`PetriNet::is_enabled`] first — or on token overflow (a place
+    /// pushed past `u32::MAX` tokens; use [`PetriNet::try_fire`] to get
+    /// a typed error instead).
     pub fn fire(&self, t: TransitionId, marking: &Marking) -> Marking {
+        self.try_fire(t, marking)
+            .unwrap_or_else(|e| panic!("token overflow: {e}"))
+    }
+
+    /// Fires `t` in `marking`, returning the successor marking, or a
+    /// typed [`TokenOverflow`] when a produced place would exceed
+    /// `u32::MAX` tokens — the fallible form the state-space explorers
+    /// use so an absurdly unbounded net fails cleanly mid-BFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled — callers must check with
+    /// [`PetriNet::is_enabled`] first.
+    pub fn try_fire(&self, t: TransitionId, marking: &Marking) -> Result<Marking, TokenOverflow> {
         assert!(
             self.is_enabled(t, marking),
             "transition {} is not enabled",
@@ -204,11 +220,35 @@ impl PetriNet {
             next.remove(p, w);
         }
         for &(p, w) in &tr.produce {
-            next.add(p, w);
+            next.checked_add(p, w).map_err(|()| TokenOverflow {
+                place: p,
+                transition: t,
+            })?;
         }
-        next
+        Ok(next)
     }
 }
+
+/// Firing pushed a place's token counter past `u32::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenOverflow {
+    /// The place whose counter overflowed.
+    pub place: PlaceId,
+    /// The transition whose firing overflowed it.
+    pub transition: TransitionId,
+}
+
+impl fmt::Display for TokenOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "firing {} overflows the token counter of {}",
+            self.transition, self.place
+        )
+    }
+}
+
+impl std::error::Error for TokenOverflow {}
 
 /// Incremental builder for [`PetriNet`].
 ///

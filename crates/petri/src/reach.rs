@@ -1,6 +1,7 @@
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+use a4a_rt::IdTable;
 
 use crate::{Marking, PetriNet, TransitionId};
 
@@ -24,7 +25,8 @@ impl fmt::Display for StateId {
     }
 }
 
-/// Error raised when state-space exploration exceeds its budget.
+/// Error raised when state-space exploration exceeds its budget or the
+/// net defeats the token model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExploreError {
     /// The number of distinct reachable markings exceeded the caller's
@@ -32,6 +34,20 @@ pub enum ExploreError {
     StateLimit {
         /// The limit that was exceeded.
         limit: usize,
+    },
+    /// The caller asked for more states than the 32-bit [`StateId`]
+    /// space can number; ids would silently wrap past 2^32.
+    LimitOverflow {
+        /// The requested limit.
+        limit: usize,
+    },
+    /// A firing pushed a place's token counter past `u32::MAX` — the
+    /// net is unbounded in the most literal way.
+    TokenOverflow {
+        /// Name of the place whose counter overflowed.
+        place: String,
+        /// Name of the transition whose firing overflowed it.
+        transition: String,
     },
 }
 
@@ -41,6 +57,14 @@ impl fmt::Display for ExploreError {
             ExploreError::StateLimit { limit } => {
                 write!(f, "state space exceeds limit of {limit} markings")
             }
+            ExploreError::LimitOverflow { limit } => write!(
+                f,
+                "state limit {limit} exceeds the 2^32-1 ids a StateId can number"
+            ),
+            ExploreError::TokenOverflow { place, transition } => write!(
+                f,
+                "firing {transition} overflows the token counter of place {place}"
+            ),
         }
     }
 }
@@ -128,7 +152,7 @@ impl ReachabilityGraph {
     pub fn bound(&self) -> u32 {
         self.states
             .iter()
-            .flat_map(|m| m.as_slice().iter().copied())
+            .flat_map(Marking::iter)
             .max()
             .unwrap_or(0)
     }
@@ -191,43 +215,60 @@ impl PetriNet {
     ///
     /// Returns [`ExploreError::StateLimit`] if more than `max_states`
     /// distinct markings are discovered, which indicates an unbounded net
-    /// or one too large for explicit exploration.
+    /// or one too large for explicit exploration;
+    /// [`ExploreError::LimitOverflow`] if `max_states` itself exceeds
+    /// the 32-bit id space; [`ExploreError::TokenOverflow`] if a place's
+    /// token counter overflows.
     pub fn explore(&self, max_states: usize) -> Result<ReachabilityGraph, ExploreError> {
         self.explore_from(self.initial_marking(), max_states)
     }
 
     /// Explores the state space breadth-first from an arbitrary marking.
     ///
+    /// The marking is packed to the bit-per-place representation when
+    /// safe ([`Marking::pack_if_safe`]), so every interned state costs a
+    /// few words instead of a `Vec<u32>`.
+    ///
     /// # Errors
     ///
-    /// Returns [`ExploreError::StateLimit`] if more than `max_states`
-    /// distinct markings are discovered.
+    /// As for [`PetriNet::explore`].
     pub fn explore_from(
         &self,
         initial: Marking,
         max_states: usize,
     ) -> Result<ReachabilityGraph, ExploreError> {
-        self.explore_with(a4a_rt::Pool::global(), initial, max_states)
+        self.explore_with(a4a_rt::Pool::global(), initial.pack_if_safe(), max_states)
     }
 
     /// [`PetriNet::explore_from`] on an explicit pool — the entry point
     /// the differential tests use to compare thread counts in-process.
     ///
+    /// Exploration keeps whatever representation `initial` has: pass a
+    /// packed marking (via [`Marking::pack_if_safe`]) for the fast path,
+    /// or a dense one for the reference engine the packed-vs-reference
+    /// differential suite compares against. Either way every observable
+    /// — state numbering, edge order, error trip points — is
+    /// bit-identical.
+    ///
     /// # Errors
     ///
-    /// Returns [`ExploreError::StateLimit`] if more than `max_states`
-    /// distinct markings are discovered.
+    /// As for [`PetriNet::explore`].
     pub fn explore_with(
         &self,
         pool: &a4a_rt::Pool,
         initial: Marking,
         max_states: usize,
     ) -> Result<ReachabilityGraph, ExploreError> {
-        let mut index: HashMap<Marking, StateId> = HashMap::new();
-        let mut states = Vec::new();
+        if max_states > u32::MAX as usize {
+            return Err(ExploreError::LimitOverflow { limit: max_states });
+        }
+        // Interner: markings live once, in `states`; the table maps
+        // fx-hash → StateId and equality checks go through the arena.
+        let mut table = IdTable::new();
+        let mut states: Vec<Marking> = Vec::new();
         let mut successors: Vec<Vec<(TransitionId, StateId)>> = Vec::new();
 
-        index.insert(initial.clone(), StateId(0));
+        table.insert(initial.fx_hash(), 0);
         states.push(initial);
         successors.push(Vec::new());
 
@@ -235,48 +276,100 @@ impl PetriNet {
         // completed level; expand it (in parallel when wide enough),
         // then merge the per-state successor lists in id order. The
         // merge — and therefore numbering, edge order, and the point at
-        // which the state limit trips — replays the sequential loop
-        // exactly.
+        // which the state limit or a token overflow trips — replays the
+        // sequential loop exactly.
         let mut level_start = 0usize;
+        // Sequential expansion reuses one successor scratch buffer for
+        // the whole run; the parallel path necessarily materialises one
+        // list per state to ship results between threads.
+        let mut scratch: Vec<Firing> = Vec::new();
         while level_start < states.len() {
             let level_end = states.len();
-            let expand = |marking: &Marking| -> Vec<(TransitionId, Marking)> {
-                self.transition_ids()
-                    .filter(|&t| self.is_enabled(t, marking))
-                    .map(|t| (t, self.fire(t, marking)))
-                    .collect()
+            let expand = |marking: &Marking, out: &mut Vec<Firing>| {
+                for t in self.transition_ids() {
+                    if self.is_enabled(t, marking) {
+                        out.push((t, self.try_fire(t, marking)));
+                    }
+                }
             };
-            let expanded: Vec<Vec<(TransitionId, Marking)>> =
-                if pool.threads() <= 1 || level_end - level_start < PAR_FRONTIER_MIN {
-                    states[level_start..level_end].iter().map(expand).collect()
-                } else {
-                    let frontier: Vec<Marking> = states[level_start..level_end].to_vec();
-                    pool.par_map(frontier, |m| expand(&m))
-                };
-            for (offset, succs) in expanded.into_iter().enumerate() {
-                let current = StateId((level_start + offset) as u32);
-                for (t, next) in succs {
-                    let next_id = match index.get(&next) {
-                        Some(&id) => id,
-                        None => {
-                            if states.len() >= max_states {
-                                return Err(ExploreError::StateLimit { limit: max_states });
-                            }
-                            let id = StateId(states.len() as u32);
-                            index.insert(next.clone(), id);
-                            states.push(next);
-                            successors.push(Vec::new());
-                            id
-                        }
-                    };
-                    successors[current.index()].push((t, next_id));
+            if pool.threads() <= 1 || level_end - level_start < PAR_FRONTIER_MIN {
+                for i in level_start..level_end {
+                    scratch.clear();
+                    expand(&states[i], &mut scratch);
+                    let firings = std::mem::take(&mut scratch);
+                    self.merge_firings(
+                        StateId(i as u32),
+                        firings.iter().cloned(),
+                        max_states,
+                        &mut table,
+                        &mut states,
+                        &mut successors,
+                    )?;
+                    scratch = firings;
+                }
+            } else {
+                let expanded: Vec<Vec<Firing>> =
+                    pool.par_map_range(level_start..level_end, |i| {
+                        let mut out = Vec::new();
+                        expand(&states[i], &mut out);
+                        out
+                    });
+                for (offset, firings) in expanded.into_iter().enumerate() {
+                    self.merge_firings(
+                        StateId((level_start + offset) as u32),
+                        firings.into_iter(),
+                        max_states,
+                        &mut table,
+                        &mut states,
+                        &mut successors,
+                    )?;
                 }
             }
             level_start = level_end;
         }
         Ok(ReachabilityGraph { states, successors })
     }
+
+    /// Merges one state's firing outcomes into the graph in transition
+    /// order — the single code path both the sequential and parallel
+    /// engines fund their determinism contract with.
+    fn merge_firings(
+        &self,
+        current: StateId,
+        firings: impl Iterator<Item = Firing>,
+        max_states: usize,
+        table: &mut IdTable,
+        states: &mut Vec<Marking>,
+        successors: &mut Vec<Vec<(TransitionId, StateId)>>,
+    ) -> Result<(), ExploreError> {
+        for (t, outcome) in firings {
+            let next = outcome.map_err(|e| ExploreError::TokenOverflow {
+                place: self.place(e.place).name.clone(),
+                transition: self.transition(e.transition).name.clone(),
+            })?;
+            let hash = next.fx_hash();
+            let next_id = match table.get(hash, |id| states[id as usize] == next) {
+                Some(id) => StateId(id),
+                None => {
+                    if states.len() >= max_states {
+                        return Err(ExploreError::StateLimit { limit: max_states });
+                    }
+                    let id = StateId(states.len() as u32);
+                    table.insert(hash, id.0);
+                    states.push(next);
+                    successors.push(Vec::new());
+                    id
+                }
+            };
+            successors[current.index()].push((t, next_id));
+        }
+        Ok(())
+    }
 }
+
+/// One enabled firing out of a frontier state: the transition plus the
+/// successor marking or the token overflow it commits.
+type Firing = (TransitionId, Result<Marking, crate::TokenOverflow>);
 
 #[cfg(test)]
 mod tests {

@@ -130,3 +130,55 @@ fn independent_components_multiply() {
         Ok(())
     });
 }
+
+/// Packed and dense representations of the same random safe marking
+/// agree on every hash-lookup observable: equality, `fx_hash`, the
+/// `std::hash::Hash` stream (via a hashed-set round trip), and the
+/// per-place accessors.
+#[test]
+fn packed_and_dense_markings_agree() {
+    use a4a_petri::Marking;
+    prop::check("packed_and_dense_markings_agree", |g: &mut Gen| -> PropResult {
+        let places = g.usize(0..200);
+        let tokens: Vec<u32> = (0..places).map(|_| g.u64(0..2) as u32).collect();
+        let dense = Marking::new(tokens.clone());
+        let packed = dense.clone().pack_if_safe();
+        prop_assert!(packed.is_packed() || places == 0 || !dense.is_safe());
+        prop_assert_eq!(&dense, &packed);
+        prop_assert_eq!(dense.fx_hash(), packed.fx_hash());
+        prop_assert_eq!(dense.len(), packed.len());
+        prop_assert_eq!(dense.total_tokens(), packed.total_tokens());
+        prop_assert_eq!(
+            dense.iter().collect::<Vec<_>>(),
+            packed.iter().collect::<Vec<_>>()
+        );
+        // A set keyed on the std Hash stream must treat them as one key.
+        let mut set: a4a_rt::FxHashSet<Marking> = a4a_rt::FxHashSet::default();
+        set.insert(dense.clone());
+        prop_assert!(set.contains(&packed));
+        set.insert(packed.clone());
+        prop_assert_eq!(set.len(), 1);
+        // Round-tripping back to dense is lossless.
+        prop_assert_eq!(packed.to_dense().iter().collect::<Vec<_>>(), tokens);
+        Ok(())
+    });
+}
+
+/// Distinct markings (safe or not) keep distinct interner semantics: an
+/// unsafe marking never equals or fx-collides with its safe truncation.
+#[test]
+fn unsafe_and_safe_markings_stay_distinct() {
+    use a4a_petri::Marking;
+    prop::check("unsafe_and_safe_stay_distinct", |g: &mut Gen| -> PropResult {
+        let places = g.usize(1..64);
+        let hot = g.usize(0..places);
+        let mut tokens: Vec<u32> = (0..places).map(|_| g.u64(0..2) as u32).collect();
+        let safe = Marking::new(tokens.clone()).pack_if_safe();
+        tokens[hot] += 2; // now unsafe at `hot`
+        let unsafe_m = Marking::new(tokens).pack_if_safe();
+        prop_assert!(!unsafe_m.is_packed());
+        prop_assert!(safe != unsafe_m);
+        prop_assert!(safe.fx_hash() != unsafe_m.fx_hash());
+        Ok(())
+    });
+}

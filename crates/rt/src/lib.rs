@@ -24,14 +24,20 @@
 //!   and hostile-value samplers for the fault-injection tier
 //!   (`tests/fault_injection.rs`), which drives them against the
 //!   scheduler and analog stack asserting typed-error-or-invariant.
+//! - [`hash`]: a fixed-function FxHash hasher, `FxHashMap`/`FxHashSet`
+//!   aliases, and the [`hash::IdTable`] id-interner under the
+//!   state-space engines (markings stored once in the arena, never
+//!   cloned into the index).
 
 pub mod bench;
 pub mod fault;
+pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchResult, Bencher};
+pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, IdTable};
 pub use pool::Pool;
 pub use prop::{Config, Gen, PropError, TestCaseError};
 pub use rng::Rng;

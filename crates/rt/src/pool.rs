@@ -263,6 +263,53 @@ impl Pool {
             .map(|m| m.into_inner().unwrap().expect("par_map slot not filled"))
             .collect()
     }
+
+    /// Order-preserving parallel map over an index range: the borrowing
+    /// variant of [`Pool::par_map`] for frontiers that already live in
+    /// an arena. `f(i)` typically reads `&arena[i]` — nothing is cloned
+    /// or moved into the pool, which is what keeps BFS levels
+    /// allocation-free on the input side.
+    ///
+    /// Same determinism contract as [`Pool::par_map`]: the output is
+    /// `range.map(f).collect()` exactly, for every pool size, and with
+    /// one thread (or one index) the plain sequential loop runs on the
+    /// caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panicked on any index (after all in-flight indices
+    /// finish).
+    pub fn par_map_range<R, F>(&self, range: std::ops::Range<usize>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let n = range.len();
+        if self.threads <= 1 || n <= 1 {
+            return range.map(f).collect();
+        }
+        let chunk = (n / (4 * self.threads)).max(1);
+        let start0 = range.start;
+        let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let (out_ref, cursor, f) = (&out, &cursor, &f);
+        self.scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                s.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        *out_ref[i].lock().unwrap() = Some(f(start0 + i));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|m| m.into_inner().unwrap().expect("par_map_range slot not filled"))
+            .collect()
+    }
 }
 
 impl Drop for Pool {

@@ -60,6 +60,36 @@ fn par_map_chunked_equals_map_for_random_chunk_sizes() {
 }
 
 #[test]
+fn par_map_range_equals_map_for_random_ranges() {
+    check_with(&Config::with_cases(64), "par_map_range_equals_map", |g| {
+        let threads = g.usize(1..9);
+        let start = g.usize(0..100);
+        let len = g.usize(0..257);
+        let pool = Pool::new(threads);
+        let expected: Vec<usize> = (start..start + len).map(|i| i * 7 + 3).collect();
+        let got = pool.par_map_range(start..start + len, |i| i * 7 + 3);
+        if got != expected {
+            return Err(a4a_rt::PropError::Fail(format!(
+                "threads={threads} start={start} len={len}: par_map_range differs"
+            )));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn par_map_range_borrows_without_cloning() {
+    // The whole point of the range variant: index into shared state
+    // instead of cloning the frontier into the pool.
+    let arena: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+    for threads in [1, 2, 8] {
+        let got = Pool::new(threads).par_map_range(10..90, |i| arena[i].len());
+        let want: Vec<usize> = (10..90).map(|i| arena[i].len()).collect();
+        assert_eq!(got, want, "t{threads}");
+    }
+}
+
+#[test]
 fn par_map_panic_propagates_and_pool_survives() {
     for threads in [1, 2, 8] {
         let pool = Pool::new(threads);

@@ -19,6 +19,19 @@ pub enum StgError {
         /// The limit that was exceeded.
         limit: usize,
     },
+    /// The caller asked for more states than the 32-bit state id space
+    /// can number; ids would silently wrap past 2^32.
+    LimitOverflow {
+        /// The limit that was requested.
+        limit: usize,
+    },
+    /// A reachable firing overflowed a place's token counter.
+    TokenOverflow {
+        /// Name of the overflowing place.
+        place: String,
+        /// Name of the firing transition.
+        transition: String,
+    },
     /// A `.g` file could not be parsed.
     Parse {
         /// 1-based line number.
@@ -48,6 +61,14 @@ impl fmt::Display for StgError {
             StgError::StateLimit { limit } => {
                 write!(f, "state graph exceeds limit of {limit} states")
             }
+            StgError::LimitOverflow { limit } => write!(
+                f,
+                "state limit {limit} exceeds the 2^32-1 ids a state id can number"
+            ),
+            StgError::TokenOverflow { place, transition } => write!(
+                f,
+                "firing {transition} overflows the token counter of place {place}"
+            ),
             StgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             StgError::Compose { message } => write!(f, "composition error: {message}"),
         }

@@ -1,7 +1,8 @@
-use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use a4a_petri::{Marking, TransitionId};
+use a4a_rt::{FxHashMap, FxHasher, IdTable};
 
 use crate::{Edge, Label, SignalId, Stg, StgError};
 
@@ -206,9 +207,9 @@ impl StateGraph {
     }
 
     /// Groups states by binary code; used by the USC/CSC checks and the
-    /// synthesiser.
-    pub fn states_by_code(&self) -> HashMap<u64, Vec<SgStateId>> {
-        let mut map: HashMap<u64, Vec<SgStateId>> = HashMap::new();
+    /// synthesiser. Per-code state lists are in discovery order.
+    pub fn states_by_code(&self) -> FxHashMap<u64, Vec<SgStateId>> {
+        let mut map: FxHashMap<u64, Vec<SgStateId>> = FxHashMap::default();
         for s in self.state_ids() {
             map.entry(self.code(s)).or_default().push(s);
         }
@@ -220,10 +221,28 @@ impl StateGraph {
 /// bookkeeping would dominate the handful of vector ops per state).
 const PAR_FRONTIER_MIN: usize = 8;
 
-/// One enabled firing out of a frontier state, computed during parallel
-/// expansion: the transition plus either the successor key or the
-/// consistency violation it commits.
-type Firing = (TransitionId, Result<(Marking, u64), ()>);
+/// One enabled firing out of a frontier state: the transition plus
+/// either the successor key or the fault it commits.
+type Firing = (TransitionId, Result<(Marking, u64), FireFault>);
+
+/// A fault committed by firing a transition, detected during expansion
+/// and surfaced in merge order so all thread counts report the same one.
+#[derive(Debug, Clone)]
+enum FireFault {
+    /// The edge toggles a signal that already holds its target value.
+    Inconsistent,
+    /// The firing overflowed a place's token counter.
+    Overflow(a4a_petri::TokenOverflow),
+}
+
+/// The interner hash of a (marking, code) state: the marking's canonical
+/// fx stream extended by the code word.
+fn state_hash(marking: &Marking, code: u64) -> u64 {
+    let mut h = FxHasher::default();
+    marking.hash(&mut h);
+    h.write_u64(code);
+    h.finish()
+}
 
 impl Stg {
     /// Builds the binary-encoded state graph on the global thread pool
@@ -250,6 +269,9 @@ impl Stg {
     /// [`Stg::state_graph`] on an explicit pool — the entry point the
     /// differential tests use to compare thread counts in-process.
     ///
+    /// The initial marking is packed ([`Marking::pack_if_safe`]), so
+    /// exploration of safe nets interns word-sized keys.
+    ///
     /// # Errors
     ///
     /// As for [`Stg::state_graph`].
@@ -258,97 +280,124 @@ impl Stg {
         pool: &a4a_rt::Pool,
         max_states: usize,
     ) -> Result<StateGraph, StgError> {
-        let initial = (self.net.initial_marking(), self.initial_code());
-        let mut index: HashMap<(Marking, u64), SgStateId> = HashMap::new();
-        let mut markings = Vec::new();
-        let mut codes = Vec::new();
+        self.state_graph_from(pool, self.net.initial_marking().pack_if_safe(), max_states)
+    }
+
+    /// [`Stg::state_graph_with`] on the dense (`Vec<u32>`) marking
+    /// representation — the reference engine the packed-vs-reference
+    /// differential suite compares against. Every observable (state
+    /// numbering, edge order, error trip points) is bit-identical to the
+    /// packed fast path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stg::state_graph`].
+    pub fn state_graph_ref_with(
+        &self,
+        pool: &a4a_rt::Pool,
+        max_states: usize,
+    ) -> Result<StateGraph, StgError> {
+        self.state_graph_from(pool, self.net.initial_marking(), max_states)
+    }
+
+    /// The engine behind both entry points: exploration keeps whatever
+    /// representation `initial` has.
+    fn state_graph_from(
+        &self,
+        pool: &a4a_rt::Pool,
+        initial: Marking,
+        max_states: usize,
+    ) -> Result<StateGraph, StgError> {
+        if max_states > u32::MAX as usize {
+            return Err(StgError::LimitOverflow { limit: max_states });
+        }
+        // Interner: (marking, code) states live once, in the parallel
+        // arenas below; the table maps fx-hash → id and equality checks
+        // go through the arenas.
+        let mut table = IdTable::new();
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut codes: Vec<u64> = Vec::new();
         let mut successors: Vec<Vec<(TransitionId, SgStateId)>> = Vec::new();
         let mut parents: Vec<Option<(TransitionId, SgStateId)>> = Vec::new();
 
-        index.insert(initial.clone(), SgStateId(0));
-        markings.push(initial.0);
-        codes.push(initial.1);
+        table.insert(state_hash(&initial, self.initial_code()), 0);
+        markings.push(initial);
+        codes.push(self.initial_code());
         successors.push(Vec::new());
         parents.push(None);
 
         // Level-synchronised BFS (see `PetriNet::explore_with` for the
         // determinism argument): expand one completed level in
-        // parallel, merge sequentially in id order.
+        // parallel, merge sequentially in id order. Faults are carried
+        // through the merge, not raised during expansion, so the firing
+        // they surface at is the same for every thread count.
         let mut level_start = 0usize;
+        // Sequential expansion reuses one successor scratch buffer; the
+        // parallel path necessarily materialises one list per state to
+        // ship results between threads.
+        let mut scratch: Vec<Firing> = Vec::new();
         while level_start < markings.len() {
             let level_end = markings.len();
             // Firing outcomes depend only on the parent (marking, code)
             // pair, so they are computable without the index.
-            let expand = |state: &(Marking, u64)| -> Vec<Firing> {
-                let (marking, code) = state;
-                self.net
-                    .transition_ids()
-                    .filter(|&t| self.net.is_enabled(t, marking))
-                    .map(|t| {
-                        let next_code = match self.labels[t.index()] {
-                            Label::Dummy => *code,
-                            Label::Edge(e) => {
-                                let cur = code & e.signal.mask() != 0;
-                                if cur == e.polarity.target_value() {
-                                    // Fires against current value.
-                                    return (t, Err(()));
-                                }
-                                code ^ e.signal.mask()
+            let expand = |marking: &Marking, code: u64, out: &mut Vec<Firing>| {
+                for t in self.net.transition_ids() {
+                    if !self.net.is_enabled(t, marking) {
+                        continue;
+                    }
+                    let next_code = match self.labels[t.index()] {
+                        Label::Dummy => code,
+                        Label::Edge(e) => {
+                            let cur = code & e.signal.mask() != 0;
+                            if cur == e.polarity.target_value() {
+                                // Fires against current value.
+                                out.push((t, Err(FireFault::Inconsistent)));
+                                continue;
                             }
-                        };
-                        (t, Ok((self.net.fire(t, marking), next_code)))
-                    })
-                    .collect()
+                            code ^ e.signal.mask()
+                        }
+                    };
+                    out.push((t, match self.net.try_fire(t, marking) {
+                        Ok(next) => Ok((next, next_code)),
+                        Err(e) => Err(FireFault::Overflow(e)),
+                    }));
+                }
             };
-            let expanded: Vec<Vec<Firing>> =
-                if pool.threads() <= 1 || level_end - level_start < PAR_FRONTIER_MIN {
-                    (level_start..level_end)
-                        .map(|i| expand(&(markings[i].clone(), codes[i])))
-                        .collect()
-                } else {
-                    let frontier: Vec<(Marking, u64)> = (level_start..level_end)
-                        .map(|i| (markings[i].clone(), codes[i]))
-                        .collect();
-                    pool.par_map(frontier, |s| expand(&s))
-                };
-            for (offset, firings) in expanded.into_iter().enumerate() {
-                let current = SgStateId((level_start + offset) as u32);
-                for (t, outcome) in firings {
-                    let key = match outcome {
-                        Err(()) => {
-                            let e = match self.labels[t.index()] {
-                                Label::Edge(e) => e,
-                                Label::Dummy => unreachable!("dummy cannot be inconsistent"),
-                            };
-                            let mut trace: Vec<String> = self
-                                .trace_names(&parents, current)
-                                .into_iter()
-                                .collect();
-                            trace.push(self.transition_name(t));
-                            return Err(StgError::Inconsistent {
-                                signal: self.signal(e.signal).name.clone(),
-                                transition: self.transition_name(t),
-                                trace,
-                            });
-                        }
-                        Ok(key) => key,
-                    };
-                    let next_id = match index.get(&key) {
-                        Some(&id) => id,
-                        None => {
-                            if markings.len() >= max_states {
-                                return Err(StgError::StateLimit { limit: max_states });
-                            }
-                            let id = SgStateId(markings.len() as u32);
-                            index.insert(key.clone(), id);
-                            markings.push(key.0);
-                            codes.push(key.1);
-                            successors.push(Vec::new());
-                            parents.push(Some((t, current)));
-                            id
-                        }
-                    };
-                    successors[current.index()].push((t, next_id));
+            if pool.threads() <= 1 || level_end - level_start < PAR_FRONTIER_MIN {
+                for i in level_start..level_end {
+                    scratch.clear();
+                    expand(&markings[i], codes[i], &mut scratch);
+                    let firings = std::mem::take(&mut scratch);
+                    self.merge_firings(
+                        SgStateId(i as u32),
+                        firings.iter().cloned(),
+                        max_states,
+                        &mut table,
+                        &mut markings,
+                        &mut codes,
+                        &mut successors,
+                        &mut parents,
+                    )?;
+                    scratch = firings;
+                }
+            } else {
+                let expanded: Vec<Vec<Firing>> =
+                    pool.par_map_range(level_start..level_end, |i| {
+                        let mut out = Vec::new();
+                        expand(&markings[i], codes[i], &mut out);
+                        out
+                    });
+                for (offset, firings) in expanded.into_iter().enumerate() {
+                    self.merge_firings(
+                        SgStateId((level_start + offset) as u32),
+                        firings.into_iter(),
+                        max_states,
+                        &mut table,
+                        &mut markings,
+                        &mut codes,
+                        &mut successors,
+                        &mut parents,
+                    )?;
                 }
             }
             level_start = level_end;
@@ -359,6 +408,68 @@ impl Stg {
             successors,
             parents,
         })
+    }
+
+    /// Merges one state's firing outcomes into the graph in transition
+    /// order — the single code path both the sequential and parallel
+    /// engines fund their determinism contract with.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_firings(
+        &self,
+        current: SgStateId,
+        firings: impl Iterator<Item = Firing>,
+        max_states: usize,
+        table: &mut IdTable,
+        markings: &mut Vec<Marking>,
+        codes: &mut Vec<u64>,
+        successors: &mut Vec<Vec<(TransitionId, SgStateId)>>,
+        parents: &mut Vec<Option<(TransitionId, SgStateId)>>,
+    ) -> Result<(), StgError> {
+        for (t, outcome) in firings {
+            let (next, next_code) = match outcome {
+                Err(FireFault::Inconsistent) => {
+                    let e = match self.labels[t.index()] {
+                        Label::Edge(e) => e,
+                        Label::Dummy => unreachable!("dummy cannot be inconsistent"),
+                    };
+                    let mut trace: Vec<String> =
+                        self.trace_names(parents, current).into_iter().collect();
+                    trace.push(self.transition_name(t));
+                    return Err(StgError::Inconsistent {
+                        signal: self.signal(e.signal).name.clone(),
+                        transition: self.transition_name(t),
+                        trace,
+                    });
+                }
+                Err(FireFault::Overflow(e)) => {
+                    return Err(StgError::TokenOverflow {
+                        place: self.net.place(e.place).name.clone(),
+                        transition: self.net.transition(e.transition).name.clone(),
+                    });
+                }
+                Ok(key) => key,
+            };
+            let hash = state_hash(&next, next_code);
+            let next_id = match table.get(hash, |id| {
+                codes[id as usize] == next_code && markings[id as usize] == next
+            }) {
+                Some(id) => SgStateId(id),
+                None => {
+                    if markings.len() >= max_states {
+                        return Err(StgError::StateLimit { limit: max_states });
+                    }
+                    let id = SgStateId(markings.len() as u32);
+                    table.insert(hash, id.0);
+                    markings.push(next);
+                    codes.push(next_code);
+                    successors.push(Vec::new());
+                    parents.push(Some((t, current)));
+                    id
+                }
+            };
+            successors[current.index()].push((t, next_id));
+        }
+        Ok(())
     }
 
     fn trace_names(

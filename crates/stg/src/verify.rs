@@ -4,7 +4,6 @@
 //! Consistency is checked implicitly by [`Stg::state_graph`] — a
 //! [`StateGraph`] can only exist for a consistent STG.
 
-use std::collections::HashMap;
 
 use crate::{Edge, SgStateId, SignalId, SignalKind, StateGraph, Stg};
 
@@ -191,7 +190,7 @@ fn coding_conflicts(stg: &Stg, sg: &StateGraph) -> Vec<CscConflict> {
         .filter(|&s| stg.signal(s).kind != SignalKind::Input)
         .collect();
     let mut conflicts = Vec::new();
-    let mut by_code: HashMap<u64, Vec<SgStateId>> = sg.states_by_code();
+    let mut by_code: a4a_rt::FxHashMap<u64, Vec<SgStateId>> = sg.states_by_code();
     let mut codes: Vec<u64> = by_code.keys().copied().collect();
     codes.sort_unstable();
     for code in codes {

@@ -12,9 +12,11 @@
 //!   freedom) — an excited gate must not be disabled by another signal
 //!   changing before it fires.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+use std::hash::Hasher;
 
 use a4a_netlist::{GateId, Netlist};
+use a4a_rt::{FxHashMap, FxHasher, IdTable};
 use a4a_stg::{Edge, Label, Polarity, SgStateId, SignalId, SignalKind, Stg};
 
 use crate::SynthError;
@@ -97,7 +99,7 @@ pub fn verify_si(stg: &Stg, netlist: &Netlist, max_states: usize) -> Result<SiRe
         }
     }
     // Pin order: map netlist pins back to signal indices once.
-    let pin_signals: HashMap<GateId, Vec<SignalId>> = netlist
+    let pin_signals: FxHashMap<GateId, Vec<SignalId>> = netlist
         .gate_ids()
         .map(|g| {
             let sigs = netlist
@@ -161,13 +163,23 @@ pub fn verify_si(stg: &Stg, netlist: &Netlist, max_states: usize) -> Result<SiRe
         format!("{}{}", stg.signal(e.signal).name, e.polarity.suffix())
     };
 
-    // Joint BFS.
+    // Joint BFS. Keys live once, in the `keys` arena; the interner maps
+    // fx-hash → index with equality resolved against the arena.
     type Key = (u64, BTreeSet<SgStateId>);
+    let key_hash = |key: &Key| -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(key.0);
+        h.write_usize(key.1.len());
+        for &s in &key.1 {
+            h.write_u32(s.index() as u32);
+        }
+        h.finish()
+    };
     let initial: Key = (stg.initial_code(), closure(BTreeSet::from([SgStateId::INITIAL])));
-    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut table = IdTable::new();
     let mut keys: Vec<Key> = Vec::new();
     let mut parents: Vec<Option<(usize, Edge)>> = Vec::new();
-    index.insert(initial.clone(), 0);
+    table.insert(key_hash(&initial), 0);
     keys.push(initial);
     parents.push(None);
 
@@ -255,11 +267,12 @@ pub fn verify_si(stg: &Stg, netlist: &Netlist, max_states: usize) -> Result<SiRe
                 continue;
             }
             let key: Key = (new_code, new_spec);
-            if !index.contains_key(&key) {
+            let hash = key_hash(&key);
+            if table.get(hash, |id| keys[id as usize] == key).is_none() {
                 if keys.len() >= max_states {
                     return Err(SynthError::StateLimit { limit: max_states });
                 }
-                index.insert(key.clone(), keys.len());
+                table.insert(hash, keys.len() as u32);
                 keys.push(key);
                 parents.push(Some((frontier, edge)));
             }

@@ -1,7 +1,10 @@
 //! Differential suite: parallel state-graph construction and Petri-net
 //! reachability must be *bit-identical* to the sequential baseline —
 //! same state counts, same codes, same state numbering, same edge
-//! order, same verification verdicts — for every thread count.
+//! order, same verification verdicts — for every thread count, **and**
+//! the packed (bit-per-place) marking representation must be
+//! indistinguishable from the dense `Vec<u32>` reference engine
+//! (`state_graph_ref_with` / a dense initial marking).
 //!
 //! The corpus is every STG this repo ships (the controller modules, the
 //! composed token ring, the A2A element zoo) plus randomly generated
@@ -45,6 +48,11 @@ fn check_stg(label: &str, stg: &Stg, max_states: usize) {
     let seq = stg
         .state_graph_with(&seq_pool, max_states)
         .unwrap_or_else(|e| panic!("{label}: sequential build failed: {e}"));
+    // Packed vs reference: the dense engine must be indistinguishable.
+    let reference = stg
+        .state_graph_ref_with(&seq_pool, max_states)
+        .unwrap_or_else(|e| panic!("{label}: reference build failed: {e}"));
+    assert_sg_identical(&format!("{label} packed-vs-ref"), &reference, &seq);
     let seq_report = stg.verify(&seq);
     for threads in THREADS {
         let pool = Pool::new(threads);
@@ -52,6 +60,10 @@ fn check_stg(label: &str, stg: &Stg, max_states: usize) {
             .state_graph_with(&pool, max_states)
             .unwrap_or_else(|e| panic!("{label}: parallel({threads}) build failed: {e}"));
         assert_sg_identical(&format!("{label} t{threads}"), &seq, &par);
+        let par_ref = stg
+            .state_graph_ref_with(&pool, max_states)
+            .unwrap_or_else(|e| panic!("{label}: reference({threads}) build failed: {e}"));
+        assert_sg_identical(&format!("{label} t{threads} packed-vs-ref"), &par_ref, &par);
         let par_report = stg.verify(&par);
         assert_eq!(
             seq_report.deadlocks, par_report.deadlocks,
@@ -76,22 +88,55 @@ fn check_stg(label: &str, stg: &Stg, max_states: usize) {
 /// Same comparison for raw Petri-net reachability.
 fn check_net(label: &str, net: &PetriNet, max_states: usize) {
     let seq_pool = Pool::new(1);
+    // The dense initial marking drives the reference engine; packing it
+    // drives the fast path. Every observable must agree between the two
+    // and across thread counts.
     let seq = net
         .explore_with(&seq_pool, net.initial_marking(), max_states)
         .unwrap_or_else(|e| panic!("{label}: sequential explore failed: {e}"));
+    let packed = net
+        .explore_with(
+            &seq_pool,
+            net.initial_marking().pack_if_safe(),
+            max_states,
+        )
+        .unwrap_or_else(|e| panic!("{label}: packed explore failed: {e}"));
+    assert_eq!(seq.state_count(), packed.state_count(), "{label} packed");
+    for s in seq.state_ids() {
+        assert_eq!(seq.marking(s), packed.marking(s), "{label} packed: {s}");
+        assert_eq!(seq.successors(s), packed.successors(s), "{label} packed: {s}");
+    }
     for threads in THREADS {
         let pool = Pool::new(threads);
         let par = net
             .explore_with(&pool, net.initial_marking(), max_states)
             .unwrap_or_else(|e| panic!("{label}: parallel({threads}) explore failed: {e}"));
+        let par_packed = net
+            .explore_with(&pool, net.initial_marking().pack_if_safe(), max_states)
+            .unwrap_or_else(|e| panic!("{label}: packed({threads}) explore failed: {e}"));
         assert_eq!(seq.state_count(), par.state_count(), "{label} t{threads}");
         assert_eq!(seq.edge_count(), par.edge_count(), "{label} t{threads}");
+        assert_eq!(
+            par.state_count(),
+            par_packed.state_count(),
+            "{label} t{threads} packed"
+        );
         for s in seq.state_ids() {
             assert_eq!(seq.marking(s), par.marking(s), "{label} t{threads}: {s}");
             assert_eq!(
                 seq.successors(s),
                 par.successors(s),
                 "{label} t{threads}: {s}"
+            );
+            assert_eq!(
+                par.marking(s),
+                par_packed.marking(s),
+                "{label} t{threads} packed: {s}"
+            );
+            assert_eq!(
+                par.successors(s),
+                par_packed.successors(s),
+                "{label} t{threads} packed: {s}"
             );
         }
         assert_eq!(seq.deadlocks(), par.deadlocks(), "{label} t{threads}");
@@ -251,10 +296,77 @@ fn explore_from_arbitrary_marking_par_vs_seq() {
     }
 }
 
+#[test]
+fn token_overflow_is_typed_and_identical() {
+    // A place already at u32::MAX gains one more token on the first
+    // firing: a typed TokenOverflow (not a panic), with the same payload
+    // for every thread count and both marking representations.
+    let mut b = NetBuilder::new();
+    let src = b.place_with_tokens("src", 1);
+    let sink = b.place_with_tokens("sink", u32::MAX);
+    let t = b.transition("t");
+    b.arc_pt(src, t);
+    b.arc_tp(t, sink);
+    let net = b.build();
+    let seq = net
+        .explore_with(&Pool::new(1), net.initial_marking(), 100)
+        .unwrap_err();
+    assert_eq!(
+        seq,
+        a4a_petri::ExploreError::TokenOverflow {
+            place: "sink".into(),
+            transition: "t".into(),
+        }
+    );
+    for threads in THREADS {
+        let par = net
+            .explore_with(&Pool::new(threads), net.initial_marking(), 100)
+            .unwrap_err();
+        assert_eq!(seq, par, "t{threads}");
+        // pack_if_safe leaves the unsafe marking dense, so this also
+        // covers handing an explicitly packed-or-not marking in.
+        let packed = net
+            .explore_with(
+                &Pool::new(threads),
+                net.initial_marking().pack_if_safe(),
+                100,
+            )
+            .unwrap_err();
+        assert_eq!(seq, packed, "t{threads} packed");
+    }
+}
+
+#[test]
+fn oversized_state_limit_is_typed() {
+    // Limits beyond the 32-bit id space are rejected up front instead of
+    // silently truncating state ids.
+    let ring = a4a_ctrl::stgs::token_ring_stg();
+    let too_big = u32::MAX as usize + 1;
+    assert_eq!(
+        ring.state_graph(too_big).unwrap_err(),
+        a4a_stg::StgError::LimitOverflow { limit: too_big }
+    );
+    assert_eq!(
+        ring.net().explore(too_big).unwrap_err(),
+        a4a_petri::ExploreError::LimitOverflow { limit: too_big }
+    );
+    // The largest representable limit is still accepted.
+    assert!(ring.state_graph(u32::MAX as usize).is_ok());
+}
+
 /// Keeps `Marking` in the public-surface contract this suite relies on.
 #[test]
 fn marking_equality_is_structural() {
     let a = Marking::new(vec![1, 0, 2]);
     let b = Marking::new(vec![1, 0, 2]);
     assert_eq!(a, b);
+}
+
+#[test]
+fn marking_equality_and_hash_cross_representation() {
+    let dense = Marking::new(vec![1, 0, 1, 0, 1]);
+    let packed = dense.clone().pack_if_safe();
+    assert!(packed.is_packed());
+    assert_eq!(dense, packed);
+    assert_eq!(dense.fx_hash(), packed.fx_hash());
 }
